@@ -1,0 +1,75 @@
+// Command experiments regenerates the tables and figures of the
+// paper's empirical study (Section 5) on the synthetic-city substitute
+// workloads and prints them as aligned text tables.
+//
+// Usage:
+//
+//	experiments -city D1 -fig all
+//	experiments -city both -fig 14,16,18
+//	experiments -city tiny -fig 3          # fast smoke run
+//	experiments -city D1 -trips 10000      # scale the workload down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	city := flag.String("city", "D1", "workload: D1 (Aalborg-like), D2 (Beijing-like), tiny, or both")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3,4,5,8..18) or 'all'")
+	trips := flag.Int("trips", 0, "override the number of simulated trajectories")
+	flag.Parse()
+
+	var cfgs []experiments.Config
+	switch strings.ToLower(*city) {
+	case "d1":
+		cfgs = []experiments.Config{experiments.D1()}
+	case "d2":
+		cfgs = []experiments.Config{experiments.D2()}
+	case "both":
+		cfgs = []experiments.Config{experiments.D1(), experiments.D2()}
+	case "tiny":
+		cfgs = []experiments.Config{experiments.Tiny()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown city %q\n", *city)
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			ids = append(ids, strings.TrimSpace(f))
+		}
+	}
+
+	for _, cfg := range cfgs {
+		if *trips > 0 {
+			cfg.Trips = *trips
+		}
+		fmt.Printf("### workload %s: preset=%s trips=%d seed=%d\n",
+			cfg.Name, cfg.Preset, cfg.Trips, cfg.Seed)
+		start := time.Now()
+		env := experiments.NewEnv(cfg)
+		fmt.Printf("workload generated in %v (%d trajectories, ~%d GPS records)\n\n",
+			time.Since(start).Round(time.Millisecond),
+			env.Data().Len(), env.Data().Records())
+		for _, id := range ids {
+			t0 := time.Now()
+			tab, err := experiments.Run(env, id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", id, err)
+				continue
+			}
+			fmt.Print(tab.Render())
+			fmt.Printf("(computed in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command trajgen generates a synthetic road network and trajectory
+// workload and writes both to disk, so experiments and services can
+// reuse one workload instead of regenerating it.
+//
+// Usage:
+//
+//	trajgen -preset small -trips 25000 -seed 11 \
+//	        -network net.txt -trajectories trips.txt [-emissions]
+//
+// The network file loads with netgen.ReadGraph, the trajectory file
+// with gps.ReadCollection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gps"
+	"repro/internal/netgen"
+	"repro/internal/traffic"
+	"repro/internal/trajgen"
+)
+
+func main() {
+	preset := flag.String("preset", "small", "network preset: test, small, aalborg, beijing")
+	trips := flag.Int("trips", 25000, "number of trajectories")
+	seed := flag.Int64("seed", 1, "workload seed")
+	emissions := flag.Bool("emissions", false, "also simulate GHG costs")
+	netOut := flag.String("network", "network.txt", "output file for the road network")
+	trajOut := flag.String("trajectories", "trajectories.txt", "output file for the matched trajectories")
+	flag.Parse()
+
+	start := time.Now()
+	g := netgen.Generate(netgen.PresetConfig(netgen.Preset(*preset)))
+	fmt.Printf("network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	gen := trajgen.New(g, traffic.NewModel(traffic.Config{}), trajgen.Config{
+		Seed: *seed, NumTrips: *trips, WithEmissions: *emissions,
+	})
+	res := gen.Generate()
+	fmt.Printf("workload: %d trajectories (~%d GPS records) in %v\n",
+		res.Collection.Len(), res.Collection.Records(), time.Since(start).Round(time.Millisecond))
+
+	nf, err := os.Create(*netOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer nf.Close()
+	if err := netgen.WriteGraph(nf, g); err != nil {
+		fatal(err)
+	}
+	tf, err := os.Create(*trajOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer tf.Close()
+	if err := gps.WriteCollection(tf, res.Collection); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n", *netOut, *trajOut)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trajgen:", err)
+	os.Exit(1)
+}

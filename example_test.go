@@ -1,0 +1,74 @@
+package pathcost_test
+
+import (
+	"fmt"
+	"math"
+
+	pathcost "repro"
+)
+
+// Example demonstrates the minimal end-to-end flow: synthesize a
+// city + fleet, train the hybrid graph, query a path's travel-time
+// distribution.
+func Example() {
+	sys, err := pathcost.Synthesize(pathcost.SynthesizeConfig{
+		Preset: "test",
+		Trips:  4000,
+		Seed:   3,
+		Params: tunedParams(),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dense := sys.DensePaths(4, 20)
+	if len(dense) == 0 {
+		fmt.Println("no dense paths")
+		return
+	}
+	lo, _ := sys.Params.IntervalBounds(dense[0].Interval)
+	res, err := sys.PathDistribution(dense[0].Path, lo+60, pathcost.OD)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	total := res.Dist.ProbWithin(1e12)
+	fmt.Println("is a probability distribution:", math.Abs(total-1) < 1e-9)
+	fmt.Println("has positive mean:", res.Dist.Mean() > 0)
+	// Output:
+	// is a probability distribution: true
+	// has positive mean: true
+}
+
+// ExampleSystem_GroundTruth shows the accuracy-optimal baseline and
+// how it fails under sparseness (Section 2.2 of the paper).
+func ExampleSystem_GroundTruth() {
+	sys, err := pathcost.Synthesize(pathcost.SynthesizeConfig{
+		Preset: "test", Trips: 4000, Seed: 3, Params: tunedParams(),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dense := sys.DensePaths(3, 25)
+	if len(dense) == 0 {
+		fmt.Println("no dense paths")
+		return
+	}
+	lo, _ := sys.Params.IntervalBounds(dense[0].Interval)
+	_, n, err := sys.GroundTruth(dense[0].Path, lo+60)
+	fmt.Println("dense path has ground truth:", err == nil && n >= sys.Params.Beta)
+	// A path at 3 AM has no qualified trajectories: sparseness.
+	_, _, err = sys.GroundTruth(dense[0].Path, 3*3600)
+	fmt.Println("sparse departure fails:", err != nil)
+	// Output:
+	// dense path has ground truth: true
+	// sparse departure fails: true
+}
+
+func tunedParams() pathcost.Params {
+	p := pathcost.DefaultParams()
+	p.Beta = 20
+	p.MaxRank = 4
+	return p
+}

@@ -1,0 +1,78 @@
+// Routing: plug the hybrid-graph estimator into the DFS stochastic
+// routing algorithm (paper Section 4.3 / Figure 18) and compare the
+// OD and LB estimators on probabilistic budget queries.
+//
+// Run with:
+//
+//	go run ./examples/routing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	pathcost "repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	sys, err := pathcost.Synthesize(pathcost.SynthesizeConfig{
+		Preset: "small",
+		Trips:  15000,
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	depart := 8 * 3600.0 // morning rush hour
+	queries := pickQueries(sys, 4)
+	fmt.Printf("%d budget queries at 08:00 (budget = 1.8 × free-flow time)\n\n", len(queries))
+
+	for qi, q := range queries {
+		budget := q.freeflow * 1.8
+		fmt.Printf("query %d: %d → %d, budget %.0fs\n", qi+1, q.src, q.dst, budget)
+		for _, m := range []pathcost.Method{pathcost.OD, pathcost.LB} {
+			t0 := time.Now()
+			res, err := sys.Route(q.src, q.dst, depart, budget, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-2s-DFS: P = %.3f  path %2d edges  explored %4d  pruned %4d  %v\n",
+				m, res.Prob, len(res.Path), res.Explored, res.Pruned,
+				time.Since(t0).Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("OD both prunes better (tighter distributions) and estimates")
+	fmt.Println("each candidate faster (fewer, coarser factors), which is why")
+	fmt.Println("the paper's OD-DFS outperforms LB-DFS (Figure 18).")
+}
+
+type query struct {
+	src, dst pathcost.VertexID
+	freeflow float64
+}
+
+// pickQueries samples OD pairs with moderate free-flow distances.
+func pickQueries(sys *pathcost.System, n int) []query {
+	var out []query
+	for v := 0; len(out) < n && v < sys.Graph.NumVertices(); v += 97 {
+		src := pathcost.VertexID(v)
+		dists := sys.Graph.ShortestDistances(src, graph.FreeFlowWeight)
+		var dst pathcost.VertexID = -1
+		best := 0.0
+		for u, d := range dists {
+			if pathcost.VertexID(u) != src && !math.IsInf(d, 1) && d > best && d < 220 && d > 90 {
+				best = d
+				dst = pathcost.VertexID(u)
+			}
+		}
+		if dst >= 0 {
+			out = append(out, query{src: src, dst: dst, freeflow: best})
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gps"
+	"repro/internal/graph"
+)
+
+// TimeInterval is an absolute-time interval [Lo, Hi] used by the
+// shift-and-enlarge computation (Eq. 3).
+type TimeInterval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi − Lo.
+func (ti TimeInterval) Width() float64 { return ti.Hi - ti.Lo }
+
+// sae implements SAE([ts,te], V) = [ts + V.min, te + V.max] (Eq. 3),
+// always over travel time (even when the cost domain is emissions).
+func sae(ti TimeInterval, v *Variable) TimeInterval {
+	return TimeInterval{Lo: ti.Lo + v.TimeMin, Hi: ti.Hi + v.TimeMax}
+}
+
+// overlapWithInterval measures |I_j ∩ UI| where I_j is a time-of-day
+// interval and UI an absolute interval; the interval repeats daily, so
+// the overlap accumulates across the days UI spans.
+func (h *HybridGraph) overlapWithInterval(iv int, ui TimeInterval) float64 {
+	ivLo, ivHi := h.Params.IntervalBounds(iv)
+	day := gps.SecondsPerDay
+	if ui.Width() == 0 {
+		// A point departure interval (the query's own departure time,
+		// UI_1 = [t, t]): relevance is containment.
+		tod := gps.SecondsOfDay(ui.Lo)
+		if tod >= ivLo && tod < ivHi {
+			return 1
+		}
+		return 0
+	}
+	var total float64
+	// Iterate the daily copies of I_j that can intersect UI.
+	firstDay := int((ui.Lo - ivHi) / day)
+	for d := firstDay - 1; ; d++ {
+		lo := float64(d)*day + ivLo
+		hi := float64(d)*day + ivHi
+		if lo > ui.Hi {
+			break
+		}
+		ol := minF(hi, ui.Hi) - maxF(lo, ui.Lo)
+		if ol > 0 {
+			total += ol
+		}
+	}
+	return total
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CandidateRow is one row of the two-dimensional candidate array
+// (Table 1): the spatio-temporally relevant variables whose paths
+// start at the k-th edge of the query path, ordered by rank.
+type CandidateRow struct {
+	Edge graph.EdgeID
+	Vars []*Variable // ascending rank; always ≥ 1 entry (unit fallback)
+}
+
+// CandidateArray holds one row per query-path edge plus the updated
+// departure intervals UI_k used for temporal relevance.
+type CandidateArray struct {
+	Rows []CandidateRow
+	UIs  []TimeInterval
+}
+
+// BuildCandidateArray computes the spatially and temporally relevant
+// instantiated variables for query path p departing at t
+// (Section 4.1.3). Row k always contains a rank-1 variable: the
+// trajectory-backed one when temporally relevant, else the speed-limit
+// fallback, so a decomposition covering p always exists.
+func (h *HybridGraph) BuildCandidateArray(p graph.Path, t float64) (*CandidateArray, error) {
+	if !h.G.ValidPath(p) {
+		return nil, fmt.Errorf("core: query %v is not a valid path", p)
+	}
+	ca := &CandidateArray{
+		Rows: make([]CandidateRow, len(p)),
+		UIs:  make([]TimeInterval, len(p)),
+	}
+	// Updated departure intervals per Eq. 3, driven by the rank-1
+	// variables of the preceding edges.
+	ui := TimeInterval{Lo: t, Hi: t}
+	for k := range p {
+		ca.UIs[k] = ui
+		unit := h.bestUnitVariable(p[k], ui)
+		ui = sae(ui, unit)
+	}
+	for k := range p {
+		ca.Rows[k].Edge = p[k]
+		ui := ca.UIs[k]
+		// Spatial relevance: instantiated paths starting at p[k] that
+		// are sub-paths of p aligned at position k.
+		for _, pv := range h.byStart[p[k]] {
+			if k+len(pv.path) > len(p) {
+				continue
+			}
+			aligned := true
+			for j, e := range pv.path {
+				if p[k+j] != e {
+					aligned = false
+					break
+				}
+			}
+			if !aligned {
+				continue
+			}
+			// Temporal relevance: the variable's interval must
+			// intersect UI_k; among multiple intervals of the same
+			// path, keep the largest-overlap one.
+			var best *Variable
+			var bestOverlap float64
+			for _, v := range pv.byIv {
+				ol := h.overlapWithInterval(v.Interval, ui)
+				if ol > bestOverlap {
+					bestOverlap = ol
+					best = v
+				}
+			}
+			if best != nil {
+				ca.Rows[k].Vars = append(ca.Rows[k].Vars, best)
+			}
+		}
+		// Guarantee a rank-1 entry.
+		hasUnit := false
+		for _, v := range ca.Rows[k].Vars {
+			if v.Rank() == 1 {
+				hasUnit = true
+				break
+			}
+		}
+		if !hasUnit {
+			ca.Rows[k].Vars = append([]*Variable{h.fallbackVariable(p[k])}, ca.Rows[k].Vars...)
+		}
+		sortByRank(ca.Rows[k].Vars)
+	}
+	return ca, nil
+}
+
+func sortByRank(vs []*Variable) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j].Rank() < vs[j-1].Rank(); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// bestUnitVariable picks the rank-1 variable of edge e whose interval
+// overlaps ui the most, falling back to the speed-limit variable.
+func (h *HybridGraph) bestUnitVariable(e graph.EdgeID, ui TimeInterval) *Variable {
+	pv, ok := h.vars[(graph.Path{e}).Key()]
+	if ok {
+		var best *Variable
+		var bestOverlap float64
+		for _, v := range pv.byIv {
+			ol := h.overlapWithInterval(v.Interval, ui)
+			if ol > bestOverlap {
+				bestOverlap = ol
+				best = v
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return h.fallbackVariable(e)
+}
+
+// Decomposition is an ordered sequence of selected variables whose
+// paths cover the query path (Section 4.1.1). Pos[i] is the position
+// of Paths[i]'s first edge within the query path.
+type Decomposition struct {
+	Vars []*Variable
+	Pos  []int
+}
+
+// Cardinality returns the number of paths in the decomposition.
+func (d *Decomposition) Cardinality() int { return len(d.Vars) }
+
+// MaxRank returns the largest rank among the selected variables.
+func (d *Decomposition) MaxRank() int {
+	m := 0
+	for _, v := range d.Vars {
+		if v.Rank() > m {
+			m = v.Rank()
+		}
+	}
+	return m
+}
+
+// CoarsestDecomposition implements Algorithm 1: per row take the
+// highest-rank relevant variable (optionally capped at maxRank; 0
+// means uncapped), omit paths that are sub-paths of already selected
+// ones, and return the unique coarsest decomposition (Theorem 4).
+func (ca *CandidateArray) CoarsestDecomposition(maxRank int) *Decomposition {
+	de := &Decomposition{}
+	covered := -1 // last query position covered so far
+	for k, row := range ca.Rows {
+		var pick *Variable
+		for i := len(row.Vars) - 1; i >= 0; i-- {
+			if maxRank <= 0 || row.Vars[i].Rank() <= maxRank {
+				pick = row.Vars[i]
+				break
+			}
+		}
+		if pick == nil {
+			pick = row.Vars[0]
+		}
+		// Sub-path test: with per-row maximal picks aligned at k, the
+		// pick is a sub-path of an earlier pick iff it ends no later
+		// than the furthest coverage.
+		end := k + pick.Rank() - 1
+		if end <= covered {
+			continue
+		}
+		de.Vars = append(de.Vars, pick)
+		de.Pos = append(de.Pos, k)
+		covered = end
+	}
+	return de
+}
+
+// Intner is any deterministic integer source (math/rand.Rand works).
+type Intner interface {
+	Intn(n int) int
+}
+
+// RandomDecomposition builds the RD baseline's decomposition: per row
+// a uniformly random-rank relevant variable is considered, and the
+// usual sub-path elimination is applied.
+func (ca *CandidateArray) RandomDecomposition(rnd Intner) *Decomposition {
+	de := &Decomposition{}
+	covered := -1
+	for k, row := range ca.Rows {
+		pick := row.Vars[rnd.Intn(len(row.Vars))]
+		end := k + pick.Rank() - 1
+		if end <= covered {
+			continue
+		}
+		de.Vars = append(de.Vars, pick)
+		de.Pos = append(de.Pos, k)
+		covered = end
+	}
+	return de
+}
+
+// PairDecomposition builds the HP baseline's decomposition: the
+// rank-2 variable for every adjacent edge pair when relevant, unit
+// variables to fill pairs without data. Rank > 2 variables are never
+// used (the HP method of [10] models pairwise dependence only).
+func (ca *CandidateArray) PairDecomposition() *Decomposition {
+	de := &Decomposition{}
+	covered := -1
+	for k, row := range ca.Rows {
+		var pick *Variable
+		// Prefer the rank-2 variable; otherwise the best rank-1.
+		for _, v := range row.Vars {
+			switch v.Rank() {
+			case 2:
+				pick = v
+			case 1:
+				if pick == nil {
+					pick = v
+				}
+			}
+			if pick != nil && pick.Rank() == 2 {
+				break
+			}
+		}
+		end := k + pick.Rank() - 1
+		if end <= covered {
+			continue
+		}
+		de.Vars = append(de.Vars, pick)
+		de.Pos = append(de.Pos, k)
+		covered = end
+	}
+	return de
+}
+
+// UnitDecomposition builds the LB baseline's decomposition: one rank-1
+// variable per edge (the legacy edge-granularity model of Section 2.3).
+func (ca *CandidateArray) UnitDecomposition() *Decomposition {
+	de := &Decomposition{}
+	for k, row := range ca.Rows {
+		de.Vars = append(de.Vars, row.Vars[0]) // rank-1 is always first
+		de.Pos = append(de.Pos, k)
+	}
+	return de
+}
+
+// Validate checks the Section 4.1.1 decomposition conditions against
+// the query path.
+func (d *Decomposition) Validate(query graph.Path) error {
+	if len(d.Vars) == 0 {
+		return fmt.Errorf("core: empty decomposition")
+	}
+	covered := make([]bool, len(query))
+	prevPos := -1
+	for i, v := range d.Vars {
+		pos := d.Pos[i]
+		if pos <= prevPos {
+			return fmt.Errorf("core: decomposition not ordered by start position")
+		}
+		prevPos = pos
+		if pos+v.Rank() > len(query) {
+			return fmt.Errorf("core: path %v overruns the query", v.Path)
+		}
+		for j, e := range v.Path {
+			if query[pos+j] != e {
+				return fmt.Errorf("core: path %v misaligned at query position %d", v.Path, pos)
+			}
+			covered[pos+j] = true
+		}
+		// Condition (3): no selected path is a sub-path of another.
+		for j, w := range d.Vars {
+			if i == j {
+				continue
+			}
+			if d.Pos[j] <= pos && d.Pos[j]+w.Rank() >= pos+v.Rank() {
+				return fmt.Errorf("core: %v is a sub-path of %v", v.Path, w.Path)
+			}
+		}
+	}
+	for k, c := range covered {
+		if !c {
+			return fmt.Errorf("core: query edge at position %d not covered", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hist"
+)
+
+// asMulti lifts a variable's distribution to a Multi so rank-1 and
+// rank-k factors share one representation in the evaluators. Histogram
+// support gaps become zero-mass cells. The conversion is cached on the
+// variable (it is hit once per query otherwise).
+func asMulti(v *Variable) (*hist.Multi, error) {
+	if v.Joint != nil {
+		return v.Joint, nil
+	}
+	v.multiOnce.Do(func() {
+		v.multi, v.multiErr = histToMulti(v.Hist)
+	})
+	return v.multi, v.multiErr
+}
+
+func histToMulti(hg *hist.Histogram) (*hist.Multi, error) {
+	bs := hg.Buckets()
+	cuts := make([]float64, 0, 2*len(bs))
+	for _, b := range bs {
+		cuts = append(cuts, b.Lo, b.Hi)
+	}
+	sort.Float64s(cuts)
+	bounds := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c != bounds[len(bounds)-1] {
+			bounds = append(bounds, c)
+		}
+	}
+	m, err := hist.NewMulti([][]float64{bounds})
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bs {
+		i := sort.SearchFloat64s(bounds, b.Lo)
+		m.SetCell([]int{i}, b.Pr)
+	}
+	if err := m.Normalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// chainState is the running joint during Equation 2 evaluation: a
+// Multi whose dimension 0 is the accumulated cost of all already
+// folded (finished) edges, and whose remaining dimensions are the
+// still-open edges, identified by their positions in the query path.
+type chainState struct {
+	m    *hist.Multi
+	open []int // query positions of dims 1..; ascending
+}
+
+// EvalStats instruments the Figure 17 breakdown: time is measured by
+// the caller; the evaluator reports structural counts.
+type EvalStats struct {
+	Factors       int           // number of decomposition paths applied (JC work)
+	CellsTouched  int           // hyper-bucket operations during joint computation
+	ResultBuckets int           // buckets of the final marginal (MC output)
+	MCDur         time.Duration // time spent deriving the marginal (Fig. 17's MC)
+}
+
+// Evaluate computes the estimated cost distribution of the query path
+// from a decomposition, per Equation 2 followed by the Section 4.2
+// marginalization: factors are applied left to right; before each new
+// factor the state keeps open exactly the overlap edges (conditioning
+// set), everything else being folded into the accumulated-cost
+// dimension.
+func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histogram, EvalStats, error) {
+	var st EvalStats
+	if err := de.Validate(query); err != nil {
+		return nil, st, err
+	}
+	st.Factors = len(de.Vars)
+
+	// Single factor covering the whole query: its sum distribution is
+	// the answer (the "lucky" case of Section 4.1).
+	if len(de.Vars) == 1 {
+		v := de.Vars[0]
+		var out *hist.Histogram
+		mc := time.Now()
+		if v.Hist != nil {
+			out = v.Hist
+		} else {
+			var err error
+			out, err = v.Joint.SumHistogram(h.Params.MaxResultBuckets)
+			if err != nil {
+				return nil, st, err
+			}
+		}
+		st.MCDur = time.Since(mc)
+		st.ResultBuckets = out.NumBuckets()
+		return out, st, nil
+	}
+
+	state, err := h.runChain(de, nil, 0, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	mc := time.Now()
+	out, err := state.m.SumHistogram(h.Params.MaxResultBuckets)
+	if err != nil {
+		return nil, st, err
+	}
+	st.MCDur = time.Since(mc)
+	st.ResultBuckets = out.NumBuckets()
+	return out, st, nil
+}
+
+// runChain applies decomposition factors from index `from` onward,
+// starting from `state` (nil to start fresh). It returns the final
+// folded state; intermediate states per factor are reported through
+// onStep when non-nil (used by the incremental routing estimator).
+func (h *HybridGraph) runChain(de *Decomposition, state *chainState, from int, st *EvalStats) (*chainState, error) {
+	return h.runChainSteps(de, state, from, st, nil)
+}
+
+func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from int, st *EvalStats, onStep func(i int, s *chainState)) (*chainState, error) {
+	for i := from; i < len(de.Vars); i++ {
+		v := de.Vars[i]
+		fm, err := asMulti(v)
+		if err != nil {
+			return nil, err
+		}
+		positions := factorPositions(de, i)
+		if state == nil {
+			state, err = initialState(fm, positions)
+		} else {
+			state, err = state.multiply(fm, positions, st)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if onStep != nil {
+			onStep(i, state)
+		}
+		keep := overlapWithNext(de, i)
+		state, err = state.foldTo(keep, h.Params.MaxAccBuckets)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}
+
+// factorPositions returns the query positions covered by factor i.
+func factorPositions(de *Decomposition, i int) []int {
+	positions := make([]int, de.Vars[i].Rank())
+	for j := range positions {
+		positions[j] = de.Pos[i] + j
+	}
+	return positions
+}
+
+// overlapWithNext returns the positions of factor i that the next
+// factor also covers (empty for the last factor).
+func overlapWithNext(de *Decomposition, i int) []int {
+	if i+1 >= len(de.Vars) {
+		return nil
+	}
+	var keep []int
+	end := de.Pos[i] + de.Vars[i].Rank()
+	for q := de.Pos[i+1]; q < end; q++ {
+		keep = append(keep, q)
+	}
+	return keep
+}
+
+// initialState wraps a factor as a chain state with a zero-width
+// accumulator and all factor dims open.
+func initialState(fm *hist.Multi, positions []int) (*chainState, error) {
+	bounds := make([][]float64, 1+fm.Dims())
+	bounds[0] = []float64{0, 1e-9}
+	for d := 0; d < fm.Dims(); d++ {
+		bounds[1+d] = fm.Bounds(d)
+	}
+	m, err := hist.NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	idxBuf := make([]int, 1+fm.Dims())
+	fm.ForEach(func(k hist.CellKey, pr float64) {
+		idxBuf[0] = 0
+		for d := 0; d < fm.Dims(); d++ {
+			idxBuf[1+d] = int(k[d])
+		}
+		m.SetCell(idxBuf, pr)
+	})
+	return &chainState{m: m, open: positions}, nil
+}
+
+// multiply advances the chain by one factor: the state's open dims
+// must be a prefix of the factor's positions (its overlap); the result
+// has all factor dims open. With an empty overlap this is the
+// independent outer product.
+func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*chainState, error) {
+	overlap := s.open
+	ovIdxF := indexOf(positions, overlap)
+	if len(ovIdxF) != len(overlap) {
+		return nil, fmt.Errorf("core: state open dims %v not contained in factor positions %v", overlap, positions)
+	}
+
+	// Align overlap dimensions on a shared grid. The two sides may
+	// disagree about the cost support (they come from different
+	// trajectory sets), so a union remap — not a refinement — is
+	// required for cell indices to be comparable.
+	fmAligned := fm
+	var err error
+	for i := range overlap {
+		sd := 1 + i // state dim (open dims are ordered and contiguous)
+		fd := ovIdxF[i]
+		union := hist.UnionBounds(s.m.Bounds(sd), fmAligned.Bounds(fd))
+		s.m, err = s.m.RemapDim(sd, union)
+		if err != nil {
+			return nil, err
+		}
+		fmAligned, err = fmAligned.RemapDim(fd, union)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var marg *hist.Multi
+	if len(overlap) > 0 {
+		marg, err = fmAligned.MarginalOnto(ovIdxF)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Group factor cells by overlap index tuple (a single group when
+	// the overlap is empty).
+	type fcell struct {
+		key hist.CellKey
+		pr  float64
+	}
+	groups := make(map[hist.CellKey][]fcell)
+	fmAligned.ForEach(func(k hist.CellKey, pr float64) {
+		var gk hist.CellKey
+		for i, fd := range ovIdxF {
+			gk[i] = k[fd]
+		}
+		groups[gk] = append(groups[gk], fcell{key: k, pr: pr})
+	})
+
+	// Result dims: acc + all factor dims (in factor order).
+	bounds := make([][]float64, 1+fmAligned.Dims())
+	bounds[0] = s.m.Bounds(0)
+	for d := 0; d < fmAligned.Dims(); d++ {
+		bounds[1+d] = fmAligned.Bounds(d)
+	}
+	res, err := hist.NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	idxBuf := make([]int, 1+fmAligned.Dims())
+	mi := make([]int, len(overlap))
+	s.m.ForEach(func(sk hist.CellKey, spr float64) {
+		var gk hist.CellKey
+		for i := range overlap {
+			gk[i] = sk[1+i]
+		}
+		cells := groups[gk]
+		if len(cells) == 0 {
+			// The factor assigns zero probability to this overlap
+			// region; the state mass there is dropped (renormalized
+			// later), mirroring conditioning on a measure-zero event.
+			return
+		}
+		div := 1.0
+		if marg != nil {
+			for i := range overlap {
+				mi[i] = int(gk[i])
+			}
+			div = marg.Cell(mi)
+			if div <= 0 {
+				return
+			}
+		}
+		for _, fc := range cells {
+			idxBuf[0] = int(sk[0])
+			for d := 0; d < fmAligned.Dims(); d++ {
+				idxBuf[1+d] = int(fc.key[d])
+			}
+			if st != nil {
+				st.CellsTouched++
+			}
+			res.SetCell(idxBuf, res.Cell(idxBuf)+spr*fc.pr/div)
+		}
+	})
+	if err := res.Normalize(); err != nil {
+		return nil, err
+	}
+	return &chainState{m: res, open: positions}, nil
+}
+
+// foldTo folds all open dims except keep into the accumulator and
+// re-buckets the accumulator axis to at most maxAcc buckets.
+func (s *chainState) foldTo(keep []int, maxAcc int) (*chainState, error) {
+	// State-dim indexes of the kept positions (dim 0 is the acc).
+	keepIdx := make([]int, 0, len(keep))
+	for _, q := range keep {
+		found := false
+		for j, p := range s.open {
+			if p == q {
+				keepIdx = append(keepIdx, 1+j)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: keep position %d not open (open: %v)", q, s.open)
+		}
+	}
+	folds, nKept, err := foldCells(s.m, keepIdx)
+	if err != nil {
+		return nil, err
+	}
+	m, err := assembleState(s.m, folds, nKept, keepIdx, maxAcc)
+	if err != nil {
+		return nil, err
+	}
+	return &chainState{m: m, open: keep}, nil
+}
+
+// indexOf maps query positions to dim indexes within a factor.
+func indexOf(positions, subset []int) []int {
+	var out []int
+	for _, q := range subset {
+		for j, p := range positions {
+			if p == q {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// cellFold is one folded cell: the accumulated-cost interval, the
+// kept-dim indexes (in keep order) and the probability.
+type cellFold struct {
+	lo, hi float64
+	idx    []int
+	pr     float64
+}
+
+// foldCells folds a Multi's non-kept dims into accumulated-cost
+// intervals (an existing accumulator dim, when present, is simply not
+// listed in keepIdx and its bucket bounds join the interval sums).
+func foldCells(m *hist.Multi, keepIdx []int) ([]cellFold, int, error) {
+	keepSet := make(map[int]bool, len(keepIdx))
+	for _, d := range keepIdx {
+		keepSet[d] = true
+	}
+	var folds []cellFold
+	m.ForEach(func(k hist.CellKey, pr float64) {
+		var lo, hi float64
+		for d := 0; d < m.Dims(); d++ {
+			if keepSet[d] {
+				continue
+			}
+			l, u := m.BucketRange(d, int(k[d]))
+			lo += l
+			hi += u
+		}
+		idx := make([]int, len(keepIdx))
+		for i, d := range keepIdx {
+			idx[i] = int(k[d])
+		}
+		folds = append(folds, cellFold{lo: lo, hi: hi, idx: idx, pr: pr})
+	})
+	if len(folds) == 0 {
+		return nil, 0, fmt.Errorf("core: folding an empty joint")
+	}
+	return folds, len(keepIdx), nil
+}
+
+// assembleState builds the state Multi (dim 0 = acc, then kept dims of
+// src in keepIdx order) from folded cells, re-bucketing the acc axis
+// to at most maxAcc buckets.
+func assembleState(src *hist.Multi, folds []cellFold, nKept int, keepIdx []int, maxAcc int) (*hist.Multi, error) {
+	cuts, err := accCuts(folds, maxAcc)
+	if err != nil {
+		return nil, err
+	}
+	bounds := make([][]float64, 1+nKept)
+	bounds[0] = cuts
+	for i, d := range keepIdx {
+		bounds[1+i] = src.Bounds(d)
+	}
+	out, err := hist.NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	distributeFolds(out, folds, cuts)
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// accCuts derives the accumulated-cost bucket boundaries: the exact
+// interval endpoints when few, otherwise the boundaries of the
+// compressed exact marginal.
+func accCuts(folds []cellFold, maxAcc int) ([]float64, error) {
+	ivals := make([]hist.Bucket, len(folds))
+	for i, f := range folds {
+		hi := f.hi
+		if !(hi > f.lo) {
+			hi = f.lo + 1e-9 // degenerate (point) accumulations
+		}
+		ivals[i] = hist.Bucket{Lo: f.lo, Hi: hi, Pr: f.pr}
+	}
+	exact, err := hist.Rearranged(ivals)
+	if err != nil {
+		return nil, err
+	}
+	if maxAcc > 0 {
+		exact = exact.Compress(maxAcc)
+	}
+	bs := exact.Buckets()
+	cuts := make([]float64, 0, len(bs)+1)
+	for _, b := range bs {
+		cuts = append(cuts, b.Lo)
+	}
+	cuts = append(cuts, bs[len(bs)-1].Hi)
+	return cuts, nil
+}
+
+// distributeFolds spreads each folded cell's mass across the acc slabs
+// proportionally to overlap (uniform-within-interval, the Section 4.2
+// rule).
+func distributeFolds(out *hist.Multi, folds []cellFold, cuts []float64) {
+	idxBuf := make([]int, out.Dims())
+	for _, f := range folds {
+		lo, hi := f.lo, f.hi
+		if !(hi > lo) {
+			hi = lo + 1e-9
+		}
+		w := hi - lo
+		for s := 0; s+1 < len(cuts); s++ {
+			ol := math.Min(cuts[s+1], hi) - math.Max(cuts[s], lo)
+			if ol <= 0 {
+				continue
+			}
+			idxBuf[0] = s
+			copy(idxBuf[1:], f.idx)
+			out.SetCell(idxBuf, out.Cell(idxBuf)+f.pr*ol/w)
+		}
+	}
+}
+
+// EvaluateDense materializes the full joint of Equation 2 on the
+// common refinement grid and flattens it. Exponential in the query
+// cardinality — a reference implementation used by tests and small
+// queries to validate the chain evaluator.
+func (h *HybridGraph) EvaluateDense(de *Decomposition, query graph.Path) (*hist.Histogram, error) {
+	if err := de.Validate(query); err != nil {
+		return nil, err
+	}
+	n := len(query)
+	if n > 10 {
+		return nil, fmt.Errorf("core: dense evaluation limited to 10 edges, got %d", n)
+	}
+	factorMs := make([]*hist.Multi, len(de.Vars))
+	for i, v := range de.Vars {
+		fm, err := asMulti(v)
+		if err != nil {
+			return nil, err
+		}
+		factorMs[i] = fm
+	}
+	// Remap every factor dimension onto the union grid of all factors
+	// sharing the position, so cell indices agree across factors.
+	for pos := 0; pos < n; pos++ {
+		union := []float64(nil)
+		for i, v := range de.Vars {
+			d := pos - de.Pos[i]
+			if d >= 0 && d < v.Rank() {
+				union = hist.UnionBounds(union, factorMs[i].Bounds(d))
+			}
+		}
+		for i, v := range de.Vars {
+			d := pos - de.Pos[i]
+			if d >= 0 && d < v.Rank() {
+				var err error
+				factorMs[i], err = factorMs[i].RemapDim(d, union)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Overlap marginals (denominators of Eq. 2).
+	margs := make([]*hist.Multi, len(de.Vars)) // margs[i]: overlap of factor i with i−1
+	for i := 1; i < len(de.Vars); i++ {
+		prevEnd := de.Pos[i-1] + de.Vars[i-1].Rank() // exclusive
+		var ovIdx []int
+		for d := 0; d < de.Vars[i].Rank(); d++ {
+			if de.Pos[i]+d < prevEnd {
+				ovIdx = append(ovIdx, d)
+			}
+		}
+		if len(ovIdx) > 0 {
+			m, err := factorMs[i].MarginalOnto(ovIdx)
+			if err != nil {
+				return nil, err
+			}
+			margs[i] = m
+		}
+	}
+	// Grid sizes per position (identical across factors after remap).
+	gridBounds := make([][]float64, n)
+	for pos := 0; pos < n; pos++ {
+		for i, v := range de.Vars {
+			d := pos - de.Pos[i]
+			if d >= 0 && d < v.Rank() {
+				gridBounds[pos] = factorMs[i].Bounds(d)
+				break
+			}
+		}
+	}
+	// Enumerate the full grid.
+	counts := make([]int, n)
+	total := 1
+	for pos := range counts {
+		counts[pos] = len(gridBounds[pos]) - 1
+		total *= counts[pos]
+		if total > 2_000_000 {
+			return nil, fmt.Errorf("core: dense grid too large")
+		}
+	}
+	idx := make([]int, n)
+	var ivals []hist.Bucket
+	var advance func(int) bool
+	advance = func(pos int) bool {
+		idx[pos]++
+		if idx[pos] < counts[pos] {
+			return true
+		}
+		idx[pos] = 0
+		if pos+1 < n {
+			return advance(pos + 1)
+		}
+		return false
+	}
+	fIdx := make([]int, hist.MaxDims)
+	for {
+		pr := 1.0
+		for i, v := range de.Vars {
+			m := factorMs[i]
+			nd := v.Rank()
+			for d := 0; d < nd; d++ {
+				fIdx[d] = idx[de.Pos[i]+d]
+			}
+			pr *= m.Cell(fIdx[:nd])
+			if pr == 0 {
+				break
+			}
+			if margs[i] != nil {
+				nOv := margs[i].Dims()
+				for d := 0; d < nOv; d++ {
+					fIdx[d] = idx[de.Pos[i]+d]
+				}
+				den := margs[i].Cell(fIdx[:nOv])
+				if den <= 0 {
+					pr = 0
+					break
+				}
+				pr /= den
+			}
+		}
+		if pr > 0 {
+			var lo, hi float64
+			for pos := 0; pos < n; pos++ {
+				lo += gridBounds[pos][idx[pos]]
+				hi += gridBounds[pos][idx[pos]+1]
+			}
+			ivals = append(ivals, hist.Bucket{Lo: lo, Hi: hi, Pr: pr})
+		}
+		if !advance(0) {
+			break
+		}
+	}
+	if len(ivals) == 0 {
+		return nil, fmt.Errorf("core: dense evaluation produced no mass")
+	}
+	return hist.Rearranged(ivals)
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/gps"
+	"repro/internal/graph"
+	"repro/internal/hist"
+)
+
+// Method selects a path-cost estimation strategy (Section 5.2.2).
+type Method string
+
+// The estimator family of the empirical study.
+const (
+	// MethodOD uses the optimal (coarsest) decomposition — the paper's
+	// proposal.
+	MethodOD Method = "OD"
+	// MethodRD uses a randomly chosen decomposition.
+	MethodRD Method = "RD"
+	// MethodHP uses pairwise joints only (Hua & Pei [10]).
+	MethodHP Method = "HP"
+	// MethodLB is the legacy baseline: independent edge convolution
+	// with progressively updated arrival intervals (Section 2.3, [22]).
+	MethodLB Method = "LB"
+)
+
+// QueryOptions tunes one cost-distribution query.
+type QueryOptions struct {
+	Method Method
+	// RankCap caps variable ranks for OD (the OD-x variants of
+	// Figure 16); 0 means uncapped.
+	RankCap int
+	// Seed drives MethodRD's random decomposition choice.
+	Seed int64
+}
+
+// Timing is the Figure 17 breakdown of one query: OI (identify the
+// optimal decomposition), JC (compute the joint distribution), MC
+// (derive the marginal cost distribution).
+type Timing struct {
+	OI, JC, MC time.Duration
+}
+
+// Total returns OI+JC+MC.
+func (t Timing) Total() time.Duration { return t.OI + t.JC + t.MC }
+
+// QueryResult is the outcome of a cost-distribution query.
+type QueryResult struct {
+	// Dist is the travel-cost distribution of the query path at the
+	// departure time — the paper's problem output.
+	Dist *hist.Histogram
+	// Decomp is the decomposition that produced it.
+	Decomp *Decomposition
+	// Stats and Timing instrument the evaluation.
+	Stats  EvalStats
+	Timing Timing
+}
+
+// CostDistribution estimates the travel cost distribution of query
+// path p departing at absolute time t (Section 4). The zero options
+// value runs the paper's OD method.
+func (h *HybridGraph) CostDistribution(p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	t0 := time.Now()
+	ca, err := h.BuildCandidateArray(p, t)
+	if err != nil {
+		return nil, err
+	}
+	var de *Decomposition
+	switch opt.Method {
+	case MethodOD:
+		de = ca.CoarsestDecomposition(opt.RankCap)
+	case MethodRD:
+		de = ca.RandomDecomposition(rand.New(rand.NewSource(opt.Seed)))
+	case MethodHP:
+		de = ca.PairDecomposition()
+	case MethodLB:
+		de = ca.UnitDecomposition()
+	default:
+		return nil, fmt.Errorf("core: unknown method %q", opt.Method)
+	}
+	oi := time.Since(t0)
+
+	t1 := time.Now()
+	dist, stats, err := h.Evaluate(de, p)
+	if err != nil {
+		return nil, err
+	}
+	evalDur := time.Since(t1)
+	jc := evalDur - stats.MCDur
+	if jc < 0 {
+		jc = 0
+	}
+	return &QueryResult{
+		Dist:   dist,
+		Decomp: de,
+		Stats:  stats,
+		Timing: Timing{OI: oi, JC: jc, MC: stats.MCDur},
+	}, nil
+}
+
+// DecompositionEntropy computes H_DE(C_P) of Theorem 2 for the
+// decomposition: Σ H(C_{P_i}) − Σ H(C_{P_i ∩ P_{i−1}}), the entropy of
+// the estimated joint. Lower is a more informative (more accurate)
+// estimate; Figure 15 compares methods by this quantity.
+func (h *HybridGraph) DecompositionEntropy(de *Decomposition) (float64, error) {
+	var sum float64
+	for i, v := range de.Vars {
+		sum += variableEntropy(v)
+		if i == 0 {
+			continue
+		}
+		prevEnd := de.Pos[i-1] + de.Vars[i-1].Rank()
+		ovLen := prevEnd - de.Pos[i]
+		if ovLen <= 0 {
+			continue
+		}
+		fm, err := asMulti(v)
+		if err != nil {
+			return 0, err
+		}
+		ovIdx := make([]int, ovLen)
+		for d := range ovIdx {
+			ovIdx[d] = d
+		}
+		marg, err := fm.MarginalOnto(ovIdx)
+		if err != nil {
+			return 0, err
+		}
+		sum -= multiEntropy(marg)
+	}
+	return sum, nil
+}
+
+// Entropy returns the differential entropy of the variable's
+// distribution in nats (Figure 8(b) reports these per rank).
+func (v *Variable) Entropy() float64 { return variableEntropy(v) }
+
+// variableEntropy returns the differential entropy of the variable's
+// distribution.
+func variableEntropy(v *Variable) float64 {
+	if v.Hist != nil {
+		return histEntropy(v.Hist)
+	}
+	return multiEntropy(v.Joint)
+}
+
+func histEntropy(hg *hist.Histogram) float64 {
+	var e float64
+	for _, b := range hg.Buckets() {
+		if b.Pr > 0 {
+			e -= b.Pr * logf(b.Pr/b.Width())
+		}
+	}
+	return e
+}
+
+func multiEntropy(m *hist.Multi) float64 {
+	var e float64
+	m.ForEach(func(k hist.CellKey, pr float64) {
+		if pr <= 0 {
+			return
+		}
+		vol := 1.0
+		for d := 0; d < m.Dims(); d++ {
+			lo, hi := m.BucketRange(d, int(k[d]))
+			vol *= hi - lo
+		}
+		e -= pr * logf(pr/vol)
+	})
+	return e
+}
+
+// GroundTruth implements the accuracy-optimal baseline of Section 2.2:
+// the distribution of total path costs over the qualified trajectories
+// (those that occurred on p within the departure-time threshold of t).
+// It returns the distribution and the number of qualified trajectories;
+// fewer than β qualified trajectories is an error (data sparseness —
+// the baseline is inapplicable).
+func GroundTruth(data *gps.Collection, p graph.Path, t float64, params Params) (*hist.Histogram, int, error) {
+	occs := data.OccurrencesOfPath(p)
+	var samples []float64
+	for _, oc := range occs {
+		m := data.Traj(oc.Traj)
+		arr := m.ArrivalAt(oc.Pos)
+		if todDistance(arr, t) <= params.GTThresholdS {
+			samples = append(samples, domainCost(m, oc.Pos, len(p), params.Domain))
+		}
+	}
+	if len(samples) < params.Beta {
+		return nil, len(samples), fmt.Errorf(
+			"core: only %d qualified trajectories on %v (β = %d): accuracy-optimal baseline inapplicable",
+			len(samples), p, params.Beta)
+	}
+	hg, _, err := hist.AutoHistogram(samples, params.Resolution, params.Auto)
+	if err != nil {
+		return nil, len(samples), err
+	}
+	return hg, len(samples), nil
+}
+
+// GroundTruthInterval is GroundTruth with interval semantics: the
+// qualified trajectories are those arriving within time-of-day
+// interval iv (any day), matching how W_P variables are instantiated.
+func GroundTruthInterval(data *gps.Collection, p graph.Path, iv int, params Params) (*hist.Histogram, int, error) {
+	occs := data.OccurrencesOfPath(p)
+	var samples []float64
+	for _, oc := range occs {
+		m := data.Traj(oc.Traj)
+		if params.IntervalOf(m.ArrivalAt(oc.Pos)) == iv {
+			samples = append(samples, domainCost(m, oc.Pos, len(p), params.Domain))
+		}
+	}
+	if len(samples) < params.Beta {
+		return nil, len(samples), fmt.Errorf(
+			"core: only %d qualified trajectories on %v in interval %d (β = %d)",
+			len(samples), p, iv, params.Beta)
+	}
+	hg, _, err := hist.AutoHistogram(samples, params.Resolution, params.Auto)
+	if err != nil {
+		return nil, len(samples), err
+	}
+	return hg, len(samples), nil
+}
+
+func logf(x float64) float64 { return math.Log(x) }
+
+// domainCost sums the configured-domain costs of a trajectory sub-path.
+func domainCost(m *gps.Matched, pos, n int, d CostDomain) float64 {
+	if d == DomainEmissions {
+		var s float64
+		for j := pos; j < pos+n; j++ {
+			s += m.Emissions[j]
+		}
+		return s
+	}
+	return m.CostOfSubPath(pos, n)
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// todDistance returns the circular time-of-day distance between two
+// absolute times: trajectories from different days qualify when their
+// clock times are close (the paper's fleets span months, so qualified
+// trajectories necessarily come from many days).
+func todDistance(a, b float64) float64 {
+	d := absF(gps.SecondsOfDay(a) - gps.SecondsOfDay(b))
+	if d > gps.SecondsPerDay/2 {
+		d = gps.SecondsPerDay - d
+	}
+	return d
+}

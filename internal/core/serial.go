@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/hist"
+)
+
+// serialVersion tags the model file format.
+const serialVersion = "hybridgraph-v1"
+
+// WriteModel serializes the trained hybrid graph (parameters, statistics
+// and every trajectory-backed variable) as line-oriented text, so a
+// model can be trained once and served later. The road network is not
+// embedded; loading requires the same graph.
+func (h *HybridGraph) WriteModel(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, serialVersion)
+	p := h.Params
+	fmt.Fprintf(bw, "params %d %d %d %g %d %d %d %d %d %g\n",
+		p.AlphaMinutes, p.Beta, p.MaxRank, p.Resolution, int(p.Domain),
+		p.MaxAccBuckets, p.MaxResultBuckets, p.StaticBuckets, p.Auto.Folds, p.GTThresholdS)
+	st := h.stats
+	fmt.Fprintf(bw, "stats %d %d %d %d", st.CoveredEdges, st.EdgesWithData, st.StorageFloats, st.SupportTotal)
+	for _, c := range st.VariablesByRank {
+		fmt.Fprintf(bw, " %d", c)
+	}
+	fmt.Fprintln(bw)
+
+	var err error
+	h.ForEachVariable(func(v *Variable) {
+		if err != nil {
+			return
+		}
+		err = writeVariable(bw, v)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeVariable(bw *bufio.Writer, v *Variable) error {
+	fmt.Fprintf(bw, "var %s %d %d %g %g\n", v.Path.Key(), v.Interval, v.Support, v.TimeMin, v.TimeMax)
+	if v.Hist != nil {
+		bs := v.Hist.Buckets()
+		fmt.Fprintf(bw, "h %d", len(bs))
+		for _, b := range bs {
+			fmt.Fprintf(bw, " %g %g %g", b.Lo, b.Hi, b.Pr)
+		}
+		fmt.Fprintln(bw)
+		return nil
+	}
+	m := v.Joint
+	fmt.Fprintf(bw, "m %d\n", m.Dims())
+	for d := 0; d < m.Dims(); d++ {
+		bd := m.Bounds(d)
+		fmt.Fprintf(bw, "b %d", len(bd))
+		for _, x := range bd {
+			fmt.Fprintf(bw, " %g", x)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "c %d\n", m.NumCells())
+	var err error
+	m.ForEach(func(k hist.CellKey, pr float64) {
+		if err != nil {
+			return
+		}
+		for d := 0; d < m.Dims(); d++ {
+			if _, werr := fmt.Fprintf(bw, "%d ", k[d]); werr != nil {
+				err = werr
+				return
+			}
+		}
+		_, err = fmt.Fprintf(bw, "%g\n", pr)
+	})
+	return err
+}
+
+// ReadHybrid deserializes a model written by WriteModel, re-binding it to
+// the given road network. Every variable path is validated against the
+// graph so a mismatched network fails loudly instead of answering
+// nonsense.
+func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rd := &hybridReader{sc: sc}
+
+	if line, ok := rd.next(); !ok || line != serialVersion {
+		return nil, fmt.Errorf("core: not a %s file", serialVersion)
+	}
+	h := &HybridGraph{
+		G:         g,
+		vars:      make(map[string]*pathVars),
+		byStart:   make(map[graph.EdgeID][]*pathVars),
+		fallbacks: make(map[graph.EdgeID]*Variable),
+	}
+	// params
+	line, ok := rd.next()
+	if !ok {
+		return nil, fmt.Errorf("core: truncated model (params)")
+	}
+	f := strings.Fields(line)
+	if len(f) != 11 || f[0] != "params" {
+		return nil, fmt.Errorf("core: bad params line %q", line)
+	}
+	p := DefaultParams()
+	p.AlphaMinutes = atoi(f[1])
+	p.Beta = atoi(f[2])
+	p.MaxRank = atoi(f[3])
+	p.Resolution = atof(f[4])
+	p.Domain = CostDomain(atoi(f[5]))
+	p.MaxAccBuckets = atoi(f[6])
+	p.MaxResultBuckets = atoi(f[7])
+	p.StaticBuckets = atoi(f[8])
+	p.Auto.Folds = atoi(f[9])
+	p.GTThresholdS = atof(f[10])
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: model params invalid: %w", err)
+	}
+	h.Params = p
+	// stats
+	line, ok = rd.next()
+	if !ok {
+		return nil, fmt.Errorf("core: truncated model (stats)")
+	}
+	f = strings.Fields(line)
+	if len(f) < 5 || f[0] != "stats" {
+		return nil, fmt.Errorf("core: bad stats line %q", line)
+	}
+	savedStats := BuildStats{
+		CoveredEdges:  atoi(f[1]),
+		EdgesWithData: atoi(f[2]),
+		StorageFloats: atoi(f[3]),
+		SupportTotal:  atoi(f[4]),
+	}
+	for _, c := range f[5:] {
+		savedStats.VariablesByRank = append(savedStats.VariablesByRank, atoi(c))
+	}
+	h.stats.VariablesByRank = make([]int, len(savedStats.VariablesByRank))
+
+	// variables
+	for {
+		line, ok := rd.next()
+		if !ok {
+			break
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 || f[0] != "var" {
+			return nil, fmt.Errorf("core: expected var line, got %q", line)
+		}
+		path, err := parsePathKey(f[1])
+		if err != nil {
+			return nil, err
+		}
+		if !g.ValidPath(path) {
+			return nil, fmt.Errorf("core: model path %v is not valid in this graph", path)
+		}
+		v := &Variable{
+			Path:     path,
+			Interval: atoi(f[2]),
+			Support:  atoi(f[3]),
+			TimeMin:  atof(f[4]),
+			TimeMax:  atof(f[5]),
+		}
+		if err := rd.readDistribution(v); err != nil {
+			return nil, err
+		}
+		h.addVariable(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Cross-check the variable counts; other stats fields are not
+	// recomputable without the data, so trust the file.
+	for r := range savedStats.VariablesByRank {
+		if r < len(h.stats.VariablesByRank) && h.stats.VariablesByRank[r] != savedStats.VariablesByRank[r] {
+			return nil, fmt.Errorf("core: model corrupt: rank-%d count %d, file says %d",
+				r+1, h.stats.VariablesByRank[r], savedStats.VariablesByRank[r])
+		}
+	}
+	h.stats.CoveredEdges = savedStats.CoveredEdges
+	h.stats.EdgesWithData = savedStats.EdgesWithData
+	h.stats.SupportTotal = savedStats.SupportTotal
+	sortRows(h)
+	return h, nil
+}
+
+func sortRows(h *HybridGraph) {
+	for _, list := range h.byStart {
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && len(list[j].path) < len(list[j-1].path); j-- {
+				list[j], list[j-1] = list[j-1], list[j]
+			}
+		}
+	}
+}
+
+type hybridReader struct {
+	sc     *bufio.Scanner
+	peeked *string
+}
+
+func (r *hybridReader) next() (string, bool) {
+	if r.peeked != nil {
+		s := *r.peeked
+		r.peeked = nil
+		return s, true
+	}
+	for r.sc.Scan() {
+		line := strings.TrimSpace(r.sc.Text())
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (r *hybridReader) readDistribution(v *Variable) error {
+	line, ok := r.next()
+	if !ok {
+		return fmt.Errorf("core: truncated model (distribution of %v)", v.Path)
+	}
+	f := strings.Fields(line)
+	switch f[0] {
+	case "h":
+		n := atoi(f[1])
+		if len(f) != 2+3*n {
+			return fmt.Errorf("core: bad histogram line for %v", v.Path)
+		}
+		bs := make([]hist.Bucket, n)
+		for i := 0; i < n; i++ {
+			bs[i] = hist.Bucket{Lo: atof(f[2+3*i]), Hi: atof(f[3+3*i]), Pr: atof(f[4+3*i])}
+		}
+		hg, err := hist.FromBuckets(bs)
+		if err != nil {
+			return fmt.Errorf("core: %v: %w", v.Path, err)
+		}
+		v.Hist = hg
+		return nil
+	case "m":
+		dims := atoi(f[1])
+		bounds := make([][]float64, dims)
+		for d := 0; d < dims; d++ {
+			line, ok := r.next()
+			if !ok {
+				return fmt.Errorf("core: truncated bounds of %v", v.Path)
+			}
+			bf := strings.Fields(line)
+			if bf[0] != "b" {
+				return fmt.Errorf("core: expected bounds line for %v", v.Path)
+			}
+			n := atoi(bf[1])
+			if len(bf) != 2+n {
+				return fmt.Errorf("core: bad bounds line for %v", v.Path)
+			}
+			bounds[d] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				bounds[d][i] = atof(bf[2+i])
+			}
+		}
+		m, err := hist.NewMulti(bounds)
+		if err != nil {
+			return fmt.Errorf("core: %v: %w", v.Path, err)
+		}
+		line, ok := r.next()
+		if !ok {
+			return fmt.Errorf("core: truncated cells of %v", v.Path)
+		}
+		cf := strings.Fields(line)
+		if cf[0] != "c" || len(cf) != 2 {
+			return fmt.Errorf("core: expected cell count for %v", v.Path)
+		}
+		count := atoi(cf[1])
+		idx := make([]int, dims)
+		for i := 0; i < count; i++ {
+			line, ok := r.next()
+			if !ok {
+				return fmt.Errorf("core: truncated cell %d of %v", i, v.Path)
+			}
+			xf := strings.Fields(line)
+			if len(xf) != dims+1 {
+				return fmt.Errorf("core: bad cell line for %v", v.Path)
+			}
+			for d := 0; d < dims; d++ {
+				idx[d] = atoi(xf[d])
+			}
+			m.SetCell(idx, atof(xf[dims]))
+		}
+		if err := m.Normalize(); err != nil {
+			return fmt.Errorf("core: %v: %w", v.Path, err)
+		}
+		v.Joint = m
+		return nil
+	default:
+		return fmt.Errorf("core: unknown distribution record %q for %v", f[0], v.Path)
+	}
+}
+
+func parsePathKey(key string) (graph.Path, error) {
+	parts := strings.Split(key, ",")
+	p := make(graph.Path, len(parts))
+	for i, s := range parts {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad path key %q", key)
+		}
+		p[i] = graph.EdgeID(id)
+	}
+	return p, nil
+}
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}

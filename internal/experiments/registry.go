@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one figure-reproduction function.
+type Runner func(*Env) (*Table, error)
+
+// Registry maps figure identifiers to their reproduction runners.
+var Registry = map[string]Runner{
+	"2":  Table2,
+	"3":  Fig3,
+	"4":  Fig4,
+	"5":  Fig5,
+	"8":  Fig8,
+	"9":  Fig9,
+	"10": Fig10,
+	"11": Fig11,
+	"12": Fig12,
+	"13": Fig13,
+	"14": Fig14,
+	"15": Fig15,
+	"16": Fig16,
+	"17": Fig17,
+	"18": Fig18,
+}
+
+// IDs returns the registered figure identifiers in numeric order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return atoiSafe(out[i]) < atoiSafe(out[j])
+	})
+	return out
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Run executes one figure on the environment.
+func Run(e *Env, id string) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
+	}
+	return r(e)
+}

@@ -1,0 +1,109 @@
+package gps
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteCollection serializes matched trajectories as line-oriented
+// text: one "T id depart edge:cost[:emission] ..." line per
+// trajectory. The format round-trips exactly enough for training
+// (costs keep three decimals ≈ millisecond precision).
+func WriteCollection(w io.Writer, c *Collection) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trajectories %d %d\n", c.Len(), c.Records())
+	for i := 0; i < c.Len(); i++ {
+		m := c.Traj(i)
+		fmt.Fprintf(bw, "T %d %.3f", m.ID, m.Depart)
+		for j, e := range m.Path {
+			if m.Emissions != nil {
+				fmt.Fprintf(bw, " %d:%.3f:%.3f", e, m.EdgeCosts[j], m.Emissions[j])
+			} else {
+				fmt.Fprintf(bw, " %d:%.3f", e, m.EdgeCosts[j])
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadCollection parses the format written by WriteCollection and
+// validates every trajectory against the graph.
+func ReadCollection(r io.Reader, g *graph.Graph) (*Collection, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gps: empty collection file")
+	}
+	header := strings.Fields(strings.TrimSpace(sc.Text()))
+	if len(header) != 3 || header[0] != "trajectories" {
+		return nil, fmt.Errorf("gps: bad collection header %q", sc.Text())
+	}
+	count, err1 := strconv.Atoi(header[1])
+	records, err2 := strconv.ParseInt(header[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("gps: bad collection header %q", sc.Text())
+	}
+	trajs := make([]*Matched, 0, count)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] != "T" || len(fields) < 4 {
+			return nil, fmt.Errorf("gps: line %d: bad trajectory record", line)
+		}
+		id, err1 := strconv.ParseInt(fields[1], 10, 64)
+		depart, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("gps: line %d: bad id or departure", line)
+		}
+		m := &Matched{ID: id, Depart: depart}
+		withEmissions := strings.Count(fields[3], ":") == 2
+		if withEmissions {
+			m.Emissions = make([]float64, 0, len(fields)-3)
+		}
+		for _, f := range fields[3:] {
+			parts := strings.Split(f, ":")
+			if len(parts) < 2 || len(parts) > 3 {
+				return nil, fmt.Errorf("gps: line %d: bad edge record %q", line, f)
+			}
+			e, err1 := strconv.Atoi(parts[0])
+			cost, err2 := strconv.ParseFloat(parts[1], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("gps: line %d: bad edge record %q", line, f)
+			}
+			m.Path = append(m.Path, graph.EdgeID(e))
+			m.EdgeCosts = append(m.EdgeCosts, cost)
+			if withEmissions {
+				if len(parts) != 3 {
+					return nil, fmt.Errorf("gps: line %d: missing emission in %q", line, f)
+				}
+				g, err := strconv.ParseFloat(parts[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("gps: line %d: bad emission in %q", line, f)
+				}
+				m.Emissions = append(m.Emissions, g)
+			}
+		}
+		if err := m.Validate(g); err != nil {
+			return nil, fmt.Errorf("gps: line %d: %w", line, err)
+		}
+		trajs = append(trajs, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(trajs) != count {
+		return nil, fmt.Errorf("gps: header says %d trajectories, found %d", count, len(trajs))
+	}
+	return NewCollection(trajs, records), nil
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc assigns a non-negative traversal cost to an edge. It is
+// the routing-time analogue of the paper's deterministic edge weights;
+// the trajectory generator perturbs it per trip to diversify routes.
+type WeightFunc func(e Edge) float64
+
+// LengthWeight weighs edges by length in meters.
+func LengthWeight(e Edge) float64 { return e.LengthM }
+
+// FreeFlowWeight weighs edges by free-flow travel time in seconds.
+func FreeFlowWeight(e Edge) float64 { return e.FreeFlowSeconds() }
+
+type pqItem struct {
+	vertex VertexID
+	dist   float64
+	index  int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int           { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)      { pq[i], pq[j] = pq[j], pq[i]; pq[i].index = i; pq[j].index = j }
+func (pq *priorityQueue) Push(x interface{}) {
+	it := x.(*pqItem)
+	it.index = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() interface{} {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from src to dst under w and returns the
+// path as an edge sequence. ok is false when dst is unreachable or
+// src == dst.
+func (g *Graph) ShortestPath(src, dst VertexID, w WeightFunc) (p Path, dist float64, ok bool) {
+	if src == dst {
+		return nil, 0, false
+	}
+	distTo := make([]float64, len(g.vertices))
+	edgeTo := make([]EdgeID, len(g.vertices))
+	for i := range distTo {
+		distTo[i] = math.Inf(1)
+		edgeTo[i] = NoEdge
+	}
+	distTo[src] = 0
+
+	pq := &priorityQueue{}
+	heap.Init(pq)
+	heap.Push(pq, &pqItem{vertex: src, dist: 0})
+	settled := make([]bool, len(g.vertices))
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		v := it.vertex
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		if v == dst {
+			break
+		}
+		for _, eid := range g.out[v] {
+			e := g.edges[eid]
+			nd := distTo[v] + w(e)
+			if nd < distTo[e.To] {
+				distTo[e.To] = nd
+				edgeTo[e.To] = eid
+				heap.Push(pq, &pqItem{vertex: e.To, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(distTo[dst], 1) {
+		return nil, 0, false
+	}
+	// Walk predecessors back to src.
+	var rev Path
+	for v := dst; v != src; {
+		eid := edgeTo[v]
+		rev = append(rev, eid)
+		v = g.edges[eid].From
+	}
+	p = make(Path, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		p = append(p, rev[i])
+	}
+	return p, distTo[dst], true
+}
+
+// ShortestDistances runs Dijkstra from src to all vertices under w and
+// returns the distance array (Inf for unreachable vertices). Used by
+// the routing package to compute admissible lower bounds.
+func (g *Graph) ShortestDistances(src VertexID, w WeightFunc) []float64 {
+	distTo := make([]float64, len(g.vertices))
+	for i := range distTo {
+		distTo[i] = math.Inf(1)
+	}
+	distTo[src] = 0
+	pq := &priorityQueue{}
+	heap.Init(pq)
+	heap.Push(pq, &pqItem{vertex: src, dist: 0})
+	settled := make([]bool, len(g.vertices))
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		v := it.vertex
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		for _, eid := range g.out[v] {
+			e := g.edges[eid]
+			nd := distTo[v] + w(e)
+			if nd < distTo[e.To] {
+				distTo[e.To] = nd
+				heap.Push(pq, &pqItem{vertex: e.To, dist: nd})
+			}
+		}
+	}
+	return distTo
+}
+
+// ReverseShortestDistances returns, for every vertex v, the shortest
+// distance from v to dst under w (Inf when dst is unreachable from v).
+// It runs Dijkstra on the reverse graph.
+func (g *Graph) ReverseShortestDistances(dst VertexID, w WeightFunc) []float64 {
+	distTo := make([]float64, len(g.vertices))
+	for i := range distTo {
+		distTo[i] = math.Inf(1)
+	}
+	distTo[dst] = 0
+	pq := &priorityQueue{}
+	heap.Init(pq)
+	heap.Push(pq, &pqItem{vertex: dst, dist: 0})
+	settled := make([]bool, len(g.vertices))
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		v := it.vertex
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		for _, eid := range g.in[v] {
+			e := g.edges[eid]
+			nd := distTo[v] + w(e)
+			if nd < distTo[e.From] {
+				distTo[e.From] = nd
+				heap.Push(pq, &pqItem{vertex: e.From, dist: nd})
+			}
+		}
+	}
+	return distTo
+}
+
+// RandomWalkPath grows a simple path of exactly n edges starting from
+// edge start by repeatedly following a random adjacent edge, avoiding
+// vertex revisits. rnd must return a non-negative pseudo-random int.
+// Returns nil when the walk dead-ends before reaching n edges. Used by
+// workload generators to sample query paths of a given cardinality.
+func (g *Graph) RandomWalkPath(start EdgeID, n int, rnd func(n int) int) Path {
+	if n <= 0 {
+		return nil
+	}
+	p := Path{start}
+	visited := map[VertexID]struct{}{
+		g.edges[start].From: {},
+		g.edges[start].To:   {},
+	}
+	for len(p) < n {
+		next := g.NextEdges(p[len(p)-1])
+		// Collect feasible continuations (no vertex revisits).
+		var feas []EdgeID
+		for _, eid := range next {
+			if _, dup := visited[g.edges[eid].To]; !dup {
+				feas = append(feas, eid)
+			}
+		}
+		if len(feas) == 0 {
+			return nil
+		}
+		e := feas[rnd(len(feas))]
+		p = append(p, e)
+		visited[g.edges[e].To] = struct{}{}
+	}
+	return p
+}

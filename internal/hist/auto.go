@@ -1,0 +1,155 @@
+package hist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AutoConfig controls the self-tuning bucket-count selection of
+// Section 3.1.
+type AutoConfig struct {
+	Folds      int     // f in f-fold cross validation
+	MaxBuckets int     // upper bound on b during the search
+	MinImprove float64 // relative error-drop below which the search stops
+	Seed       int64   // RNG seed for the fold split (deterministic runs)
+}
+
+// DefaultAutoConfig mirrors the paper's setup: 5-fold cross
+// validation, stop when adding a bucket improves the error by less
+// than 10%.
+func DefaultAutoConfig() AutoConfig {
+	return AutoConfig{Folds: 5, MaxBuckets: 16, MinImprove: 0.10, Seed: 1}
+}
+
+// AutoResult reports what the Auto procedure measured: Errors[b-1] is
+// the cross-validated error E_b of using b buckets (the Fig. 5(a)
+// curve), and Chosen is the selected bucket count.
+type AutoResult struct {
+	Errors []float64
+	Chosen int
+}
+
+// AutoBucketCount runs the Section 3.1 procedure on the cost samples:
+// it increases b from 1, computing the f-fold cross-validated squared
+// error E_b of the V-Optimal b-bucket histogram, and stops at the
+// first b whose error is not a significant improvement over b−1,
+// returning b−1.
+func AutoBucketCount(samples []float64, resolution float64, cfg AutoConfig) (AutoResult, error) {
+	var res AutoResult
+	if cfg.Folds < 2 {
+		return res, fmt.Errorf("hist: need at least 2 folds, got %d", cfg.Folds)
+	}
+	if len(samples) < cfg.Folds {
+		// Too little data to cross-validate; a single bucket is the
+		// only defensible choice.
+		res.Chosen = 1
+		res.Errors = []float64{0}
+		return res, nil
+	}
+	folds := splitFolds(samples, cfg.Folds, cfg.Seed)
+
+	maxB := cfg.MaxBuckets
+	if maxB < 1 {
+		maxB = 1
+	}
+	prev := -1.0
+	chosen := 1
+	for b := 1; b <= maxB; b++ {
+		eb, err := cvError(folds, resolution, b)
+		if err != nil {
+			return res, err
+		}
+		res.Errors = append(res.Errors, eb)
+		if prev >= 0 {
+			if prev <= 0 || (prev-eb) < cfg.MinImprove*prev {
+				chosen = b - 1
+				break
+			}
+			chosen = b
+		}
+		prev = eb
+	}
+	if chosen < 1 {
+		chosen = 1
+	}
+	res.Chosen = chosen
+	return res, nil
+}
+
+// AutoHistogram selects the bucket count via AutoBucketCount and
+// returns the V-Optimal histogram with that many buckets, built on the
+// full sample set. This is the paper's "Auto" method.
+func AutoHistogram(samples []float64, resolution float64, cfg AutoConfig) (*Histogram, AutoResult, error) {
+	res, err := AutoBucketCount(samples, resolution, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	raw, err := NewRaw(samples, resolution)
+	if err != nil {
+		return nil, res, err
+	}
+	h, err := VOptimal(raw, res.Chosen)
+	return h, res, err
+}
+
+// StaticHistogram is the paper's Sta-b baseline: a V-Optimal histogram
+// with a fixed bucket count b.
+func StaticHistogram(samples []float64, resolution float64, b int) (*Histogram, error) {
+	raw, err := NewRaw(samples, resolution)
+	if err != nil {
+		return nil, err
+	}
+	return VOptimal(raw, b)
+}
+
+// splitFolds randomly partitions samples into f near-equal folds.
+func splitFolds(samples []float64, f int, seed int64) [][]float64 {
+	rnd := rand.New(rand.NewSource(seed))
+	perm := rnd.Perm(len(samples))
+	folds := make([][]float64, f)
+	for i, pi := range perm {
+		k := i % f
+		folds[k] = append(folds[k], samples[pi])
+	}
+	return folds
+}
+
+// cvError computes E_b: for each fold k, train V-Optimal with b
+// buckets on the other folds and accumulate the squared error against
+// fold k's raw distribution; return the average over folds.
+func cvError(folds [][]float64, resolution float64, b int) (float64, error) {
+	var total float64
+	n := 0
+	for k := range folds {
+		if len(folds[k]) == 0 {
+			continue
+		}
+		var train []float64
+		for j := range folds {
+			if j != k {
+				train = append(train, folds[j]...)
+			}
+		}
+		if len(train) == 0 {
+			continue
+		}
+		trainRaw, err := NewRaw(train, resolution)
+		if err != nil {
+			return 0, err
+		}
+		h, err := VOptimal(trainRaw, b)
+		if err != nil {
+			return 0, err
+		}
+		heldOut, err := NewRaw(folds[k], resolution)
+		if err != nil {
+			return 0, err
+		}
+		total += h.SquaredError(heldOut)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("hist: all folds empty")
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,438 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket is a half-open cost range [Lo, Hi) carrying probability Pr.
+// Probability mass is uniformly distributed within the bucket.
+type Bucket struct {
+	Lo, Hi float64
+	Pr     float64
+}
+
+// Width returns Hi − Lo.
+func (b Bucket) Width() float64 { return b.Hi - b.Lo }
+
+// Histogram is a one-dimensional histogram: a set of disjoint,
+// strictly increasing buckets whose probabilities sum to one
+// (Section 3.1). The zero value is not usable; construct via
+// FromBuckets, FromRaw, or the V-Optimal builders.
+type Histogram struct {
+	buckets []Bucket
+}
+
+// FromBuckets validates and constructs a histogram from buckets. The
+// buckets must be non-empty, each with Hi > Lo and Pr ≥ 0, pairwise
+// disjoint and sorted; probabilities are normalized to sum to one.
+func FromBuckets(bs []Bucket) (*Histogram, error) {
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("hist: no buckets")
+	}
+	var total float64
+	for i, b := range bs {
+		if !(b.Hi > b.Lo) {
+			return nil, fmt.Errorf("hist: bucket %d has non-positive width [%v,%v)", i, b.Lo, b.Hi)
+		}
+		if b.Pr < 0 || math.IsNaN(b.Pr) {
+			return nil, fmt.Errorf("hist: bucket %d has invalid probability %v", i, b.Pr)
+		}
+		if i > 0 && b.Lo < bs[i-1].Hi {
+			return nil, fmt.Errorf("hist: bucket %d overlaps or is out of order", i)
+		}
+		total += b.Pr
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("hist: zero total probability")
+	}
+	out := make([]Bucket, len(bs))
+	copy(out, bs)
+	for i := range out {
+		out[i].Pr /= total
+	}
+	return &Histogram{buckets: out}, nil
+}
+
+// MustFromBuckets is FromBuckets that panics on error; for fixtures
+// and generators whose inputs are known-valid by construction.
+func MustFromBuckets(bs []Bucket) *Histogram {
+	h, err := FromBuckets(bs)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Point returns a histogram concentrated on the resolution-wide bucket
+// starting at v; used for speed-limit fallback costs.
+func Point(v, resolution float64) *Histogram {
+	return MustFromBuckets([]Bucket{{Lo: v, Hi: v + resolution, Pr: 1}})
+}
+
+// NumBuckets returns the bucket count b.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Buckets returns the backing bucket slice; callers must not modify it.
+func (h *Histogram) Buckets() []Bucket { return h.buckets }
+
+// Min returns the lower support bound (used by shift-and-enlarge).
+func (h *Histogram) Min() float64 { return h.buckets[0].Lo }
+
+// Max returns the upper support bound (used by shift-and-enlarge).
+func (h *Histogram) Max() float64 { return h.buckets[len(h.buckets)-1].Hi }
+
+// Mean returns the expected value under uniform-within-bucket.
+func (h *Histogram) Mean() float64 {
+	var m float64
+	for _, b := range h.buckets {
+		m += b.Pr * (b.Lo + b.Hi) / 2
+	}
+	return m
+}
+
+// Variance returns the variance under uniform-within-bucket.
+func (h *Histogram) Variance() float64 {
+	mu := h.Mean()
+	var v float64
+	for _, b := range h.buckets {
+		mid := (b.Lo + b.Hi) / 2
+		w := b.Width()
+		// E[X²] within a uniform bucket = mid² + w²/12.
+		v += b.Pr * (mid*mid + w*w/12)
+	}
+	return v - mu*mu
+}
+
+// CDF returns P(X ≤ x), clamped to [0, 1] against floating-point
+// accumulation error.
+func (h *Histogram) CDF(x float64) float64 {
+	var acc float64
+	for _, b := range h.buckets {
+		switch {
+		case x >= b.Hi:
+			acc += b.Pr
+		case x <= b.Lo:
+			return clamp01(acc)
+		default:
+			return clamp01(acc + b.Pr*(x-b.Lo)/b.Width())
+		}
+	}
+	return clamp01(acc)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ProbWithin returns P(X ≤ budget); convenience alias used by the
+// stochastic routing queries ("probability of arriving within x").
+func (h *Histogram) ProbWithin(budget float64) float64 { return h.CDF(budget) }
+
+// Quantile returns the smallest x with CDF(x) ≥ q, for q in [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	var acc float64
+	for _, b := range h.buckets {
+		if acc+b.Pr >= q {
+			frac := (q - acc) / b.Pr
+			return b.Lo + frac*b.Width()
+		}
+		acc += b.Pr
+	}
+	return h.Max()
+}
+
+// DensityAt returns the probability density at x (0 outside support,
+// left-continuous at bucket edges).
+func (h *Histogram) DensityAt(x float64) float64 {
+	i := sort.Search(len(h.buckets), func(i int) bool { return h.buckets[i].Hi > x })
+	if i >= len(h.buckets) {
+		return 0
+	}
+	b := h.buckets[i]
+	if x < b.Lo {
+		return 0
+	}
+	return b.Pr / b.Width()
+}
+
+// MassOn returns the probability mass on [lo, hi) under
+// uniform-within-bucket semantics.
+func (h *Histogram) MassOn(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	var acc float64
+	for _, b := range h.buckets {
+		ol := math.Max(lo, b.Lo)
+		oh := math.Min(hi, b.Hi)
+		if oh > ol {
+			acc += b.Pr * (oh - ol) / b.Width()
+		}
+	}
+	return acc
+}
+
+// Sample draws one value using u ∈ [0,1) as the uniform source.
+func (h *Histogram) Sample(u float64) float64 {
+	return h.Quantile(u)
+}
+
+// Shift returns a histogram translated by delta (used when composing
+// departure-time intervals).
+func (h *Histogram) Shift(delta float64) *Histogram {
+	bs := make([]Bucket, len(h.buckets))
+	for i, b := range h.buckets {
+		bs[i] = Bucket{Lo: b.Lo + delta, Hi: b.Hi + delta, Pr: b.Pr}
+	}
+	return &Histogram{buckets: bs}
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	bs := make([]Bucket, len(h.buckets))
+	copy(bs, h.buckets)
+	return &Histogram{buckets: bs}
+}
+
+// String renders the histogram compactly, e.g. "{[40,50):0.100 ...}".
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, b := range h.buckets {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "[%g,%g):%.4f", b.Lo, b.Hi, b.Pr)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// weightedInterval is an intermediate (possibly overlapping) interval
+// mass produced by convolution and hyper-bucket flattening.
+type weightedInterval struct {
+	lo, hi float64
+	pr     float64
+}
+
+// rearrange implements the bucket rearrangement of Section 4.2: it
+// overlays possibly-overlapping uniform interval masses, splits at all
+// interval boundaries, and returns disjoint buckets whose mass is the
+// length-proportional share of each contributing interval — exactly
+// the procedure of the paper's Figure 7 example.
+func rearrange(ivals []weightedInterval) (*Histogram, error) {
+	if len(ivals) == 0 {
+		return nil, fmt.Errorf("hist: rearrange of zero intervals")
+	}
+	cuts := make([]float64, 0, 2*len(ivals))
+	for _, iv := range ivals {
+		if !(iv.hi > iv.lo) {
+			return nil, fmt.Errorf("hist: interval [%v,%v) has non-positive width", iv.lo, iv.hi)
+		}
+		cuts = append(cuts, iv.lo, iv.hi)
+	}
+	sort.Float64s(cuts)
+	cuts = dedupFloats(cuts)
+
+	// Sort intervals by lo so each elementary cell only scans forward.
+	sort.Slice(ivals, func(i, j int) bool { return ivals[i].lo < ivals[j].lo })
+
+	bs := make([]Bucket, 0, len(cuts)-1)
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		var pr float64
+		for _, iv := range ivals {
+			if iv.lo >= hi {
+				break
+			}
+			if iv.hi <= lo {
+				continue
+			}
+			pr += iv.pr * (hi - lo) / (iv.hi - iv.lo)
+		}
+		if pr > 0 {
+			bs = append(bs, Bucket{Lo: lo, Hi: hi, Pr: pr})
+		}
+	}
+	// Merge adjacent cells with (near-)identical density to keep the
+	// result minimal without changing the distribution.
+	bs = mergeEqualDensity(bs)
+	return FromBuckets(bs)
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func mergeEqualDensity(bs []Bucket) []Bucket {
+	if len(bs) < 2 {
+		return bs
+	}
+	const tol = 1e-12
+	out := bs[:1]
+	for _, b := range bs[1:] {
+		last := &out[len(out)-1]
+		if b.Lo == last.Hi {
+			d1 := last.Pr / last.Width()
+			d2 := b.Pr / b.Width()
+			if math.Abs(d1-d2) <= tol*(d1+d2+1) {
+				last.Hi = b.Hi
+				last.Pr += b.Pr
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Convolve returns the distribution of X+Y for independent X, Y
+// (the ⊙ operator of the legacy baseline, Section 2.3). Each pair of
+// buckets contributes the interval sum [loX+loY, hiX+hiY) with mass
+// prX·prY; overlaps are resolved by rearrangement, mirroring the
+// paper's uniform-within-bucket treatment.
+func Convolve(x, y *Histogram) *Histogram {
+	ivals := make([]weightedInterval, 0, len(x.buckets)*len(y.buckets))
+	for _, bx := range x.buckets {
+		for _, by := range y.buckets {
+			ivals = append(ivals, weightedInterval{
+				lo: bx.Lo + by.Lo,
+				hi: bx.Hi + by.Hi,
+				pr: bx.Pr * by.Pr,
+			})
+		}
+	}
+	h, err := rearrange(ivals)
+	if err != nil {
+		// Inputs are valid histograms, so intervals are valid; this is
+		// unreachable but kept explicit.
+		panic(err)
+	}
+	return h
+}
+
+// ConvolveAll folds Convolve over hs left to right. It panics on an
+// empty input because the sum of zero distributions is undefined.
+func ConvolveAll(hs []*Histogram) *Histogram {
+	if len(hs) == 0 {
+		panic("hist: ConvolveAll of no histograms")
+	}
+	acc := hs[0]
+	for _, h := range hs[1:] {
+		acc = Convolve(acc, h)
+	}
+	return acc
+}
+
+// Rearranged builds a histogram from raw interval masses (exported for
+// the multi-dimensional flattening in Section 4.2).
+func Rearranged(intervals []Bucket) (*Histogram, error) {
+	ivals := make([]weightedInterval, len(intervals))
+	for i, b := range intervals {
+		ivals[i] = weightedInterval{lo: b.Lo, hi: b.Hi, pr: b.Pr}
+	}
+	return rearrange(ivals)
+}
+
+// Compress reduces the histogram to at most maxBuckets buckets by
+// repeatedly merging the adjacent pair whose merge increases the
+// squared-error of the piecewise-uniform density least. Used to bound
+// state growth in the chain evaluator; a no-op when already small.
+func (h *Histogram) Compress(maxBuckets int) *Histogram {
+	if maxBuckets < 1 || len(h.buckets) <= maxBuckets {
+		return h
+	}
+	bs := make([]Bucket, len(h.buckets))
+	copy(bs, h.buckets)
+	for len(bs) > maxBuckets {
+		bestIdx, bestCost := -1, math.Inf(1)
+		for i := 0; i+1 < len(bs); i++ {
+			c := mergeCost(bs[i], bs[i+1])
+			if c < bestCost {
+				bestCost, bestIdx = c, i
+			}
+		}
+		a, b := bs[bestIdx], bs[bestIdx+1]
+		merged := Bucket{Lo: a.Lo, Hi: b.Hi, Pr: a.Pr + b.Pr}
+		bs = append(bs[:bestIdx], append([]Bucket{merged}, bs[bestIdx+2:]...)...)
+	}
+	out, err := FromBuckets(bs)
+	if err != nil {
+		panic(err) // merging valid disjoint buckets keeps them valid
+	}
+	return out
+}
+
+// mergeCost scores merging adjacent buckets a and b: the L2 distance
+// between the original two-step density and the merged flat density,
+// plus the mass "smeared" into any gap between them.
+func mergeCost(a, b Bucket) float64 {
+	lo, hi := a.Lo, b.Hi
+	w := hi - lo
+	dm := (a.Pr + b.Pr) / w
+	da := a.Pr / a.Width()
+	db := b.Pr / b.Width()
+	cost := (da-dm)*(da-dm)*a.Width() + (db-dm)*(db-dm)*b.Width()
+	if gap := b.Lo - a.Hi; gap > 0 {
+		cost += dm * dm * gap
+	}
+	return cost
+}
+
+// SquaredError computes SE(H, D) of Section 3.1: the sum over the raw
+// distribution's cost values of the squared difference between the
+// histogram's per-value probability estimate and the raw probability.
+// The histogram's estimate for a lattice value is its bucket
+// probability split uniformly over the lattice points the bucket
+// covers.
+func (h *Histogram) SquaredError(d *Raw) float64 {
+	var se float64
+	for _, e := range d.Entries {
+		est := h.MassOn(e.Value, e.Value+d.Resolution)
+		diff := est - e.Perc
+		se += diff * diff
+	}
+	return se
+}
+
+// Dominates reports whether h first-order stochastically dominates g:
+// P(h ≤ x) ≥ P(g ≤ x) at every x (h is never worse). Stochastic
+// routing algorithms use this to discard dominated candidate paths.
+func (h *Histogram) Dominates(g *Histogram) bool {
+	cuts := make([]float64, 0, 2*(len(h.buckets)+len(g.buckets)))
+	for _, b := range h.buckets {
+		cuts = append(cuts, b.Lo, b.Hi)
+	}
+	for _, b := range g.buckets {
+		cuts = append(cuts, b.Lo, b.Hi)
+	}
+	sort.Float64s(cuts)
+	cuts = dedupFloats(cuts)
+	for _, x := range cuts {
+		if h.CDF(x) < g.CDF(x)-1e-12 {
+			return false
+		}
+	}
+	return true
+}

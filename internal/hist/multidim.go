@@ -1,0 +1,484 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxDims bounds the dimensionality of a multi-dimensional histogram.
+// A dimension corresponds to one edge of a path, plus one synthetic
+// accumulator dimension used by the chain evaluator, so this bounds
+// the maximum instantiable path rank.
+const MaxDims = 12
+
+// CellKey identifies a hyper-bucket by its per-dimension bucket
+// indices. Unused trailing dimensions must be zero so that keys remain
+// comparable map keys.
+type CellKey [MaxDims]uint16
+
+// Multi is a multi-dimensional histogram (Section 3.2): per-dimension
+// bucket boundaries form a grid, and a sparse map assigns probability
+// to occupied hyper-buckets. Probabilities sum to one.
+type Multi struct {
+	bounds [][]float64 // bounds[d] has len nb_d+1, strictly increasing
+	cells  map[CellKey]float64
+}
+
+// NewMulti creates an empty multi-dimensional histogram over the given
+// per-dimension boundaries. Mass must be added via Add and then
+// Normalize must be called.
+func NewMulti(bounds [][]float64) (*Multi, error) {
+	if len(bounds) == 0 || len(bounds) > MaxDims {
+		return nil, fmt.Errorf("hist: %d dimensions out of range [1,%d]", len(bounds), MaxDims)
+	}
+	cp := make([][]float64, len(bounds))
+	for d, bd := range bounds {
+		if len(bd) < 2 {
+			return nil, fmt.Errorf("hist: dimension %d has %d boundaries, need ≥ 2", d, len(bd))
+		}
+		if len(bd) > math.MaxUint16 {
+			return nil, fmt.Errorf("hist: dimension %d has too many buckets", d)
+		}
+		for i := 1; i < len(bd); i++ {
+			if !(bd[i] > bd[i-1]) {
+				return nil, fmt.Errorf("hist: dimension %d boundaries not increasing at %d", d, i)
+			}
+		}
+		cp[d] = append([]float64(nil), bd...)
+	}
+	return &Multi{bounds: cp, cells: make(map[CellKey]float64)}, nil
+}
+
+// Dims returns the number of dimensions.
+func (m *Multi) Dims() int { return len(m.bounds) }
+
+// Bounds returns the boundary slice of dimension d; do not modify.
+func (m *Multi) Bounds(d int) []float64 { return m.bounds[d] }
+
+// NumBuckets returns the bucket count of dimension d.
+func (m *Multi) NumBuckets(d int) int { return len(m.bounds[d]) - 1 }
+
+// NumCells returns the number of occupied hyper-buckets.
+func (m *Multi) NumCells() int { return len(m.cells) }
+
+// StorageFloats approximates the storage footprint as a float count:
+// all boundaries plus one probability per occupied cell. Used for the
+// Fig. 11(c)/Fig. 12 space accounting.
+func (m *Multi) StorageFloats() int {
+	n := 0
+	for _, bd := range m.bounds {
+		n += len(bd)
+	}
+	// Each occupied cell stores its index tuple (counted as one float
+	// equivalent) and its probability.
+	return n + 2*len(m.cells)
+}
+
+// BucketRange returns [lo, hi) of bucket i on dimension d.
+func (m *Multi) BucketRange(d, i int) (lo, hi float64) {
+	return m.bounds[d][i], m.bounds[d][i+1]
+}
+
+// locate returns the bucket index of v on dimension d, or -1 when v is
+// outside the dimension's support.
+func (m *Multi) locate(d int, v float64) int {
+	bd := m.bounds[d]
+	if v < bd[0] || v >= bd[len(bd)-1] {
+		// Values exactly at the top boundary belong to the last bucket;
+		// this keeps max-valued samples inside the histogram.
+		if v == bd[len(bd)-1] {
+			return len(bd) - 2
+		}
+		return -1
+	}
+	i := sort.SearchFloat64s(bd, v)
+	if i < len(bd) && bd[i] == v {
+		return i
+	}
+	return i - 1
+}
+
+// Add accrues weight w to the hyper-bucket containing point; it
+// reports false when the point is outside the grid.
+func (m *Multi) Add(point []float64, w float64) bool {
+	var key CellKey
+	for d := range m.bounds {
+		i := m.locate(d, point[d])
+		if i < 0 {
+			return false
+		}
+		key[d] = uint16(i)
+	}
+	m.cells[key] += w
+	return true
+}
+
+// SetCell assigns probability to a hyper-bucket by index; indexes must
+// be in range. Used by tests and by factor operations.
+func (m *Multi) SetCell(idx []int, pr float64) {
+	var key CellKey
+	for d, i := range idx {
+		if i < 0 || i >= m.NumBuckets(d) {
+			panic(fmt.Sprintf("hist: cell index %d out of range on dim %d", i, d))
+		}
+		key[d] = uint16(i)
+	}
+	if pr == 0 {
+		delete(m.cells, key)
+		return
+	}
+	m.cells[key] = pr
+}
+
+// Cell returns the probability of the hyper-bucket with the given
+// indices (0 when unoccupied).
+func (m *Multi) Cell(idx []int) float64 {
+	var key CellKey
+	for d, i := range idx {
+		key[d] = uint16(i)
+	}
+	return m.cells[key]
+}
+
+// ForEach visits every occupied hyper-bucket.
+func (m *Multi) ForEach(fn func(key CellKey, pr float64)) {
+	for k, v := range m.cells {
+		fn(k, v)
+	}
+}
+
+// Total returns the current probability mass (1 after Normalize).
+func (m *Multi) Total() float64 {
+	var t float64
+	for _, v := range m.cells {
+		t += v
+	}
+	return t
+}
+
+// Normalize scales cell masses to sum to one. It returns an error when
+// the histogram is empty.
+func (m *Multi) Normalize() error {
+	t := m.Total()
+	if t <= 0 {
+		return fmt.Errorf("hist: cannot normalize empty multi-histogram")
+	}
+	for k, v := range m.cells {
+		m.cells[k] = v / t
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m *Multi) Clone() *Multi {
+	out, err := NewMulti(m.bounds)
+	if err != nil {
+		panic(err) // m was valid
+	}
+	for k, v := range m.cells {
+		out.cells[k] = v
+	}
+	return out
+}
+
+// Marginal returns the one-dimensional marginal distribution of
+// dimension d.
+func (m *Multi) Marginal(d int) *Histogram {
+	pr := make([]float64, m.NumBuckets(d))
+	for k, v := range m.cells {
+		pr[k[d]] += v
+	}
+	bs := make([]Bucket, 0, len(pr))
+	for i, p := range pr {
+		if p > 0 {
+			lo, hi := m.BucketRange(d, i)
+			bs = append(bs, Bucket{Lo: lo, Hi: hi, Pr: p})
+		}
+	}
+	h, err := FromBuckets(bs)
+	if err != nil {
+		panic(fmt.Sprintf("hist: marginal of dim %d: %v", d, err))
+	}
+	return h
+}
+
+// MarginalOnto returns the joint marginal over the given dimensions,
+// in the given order. dims must be distinct and in range.
+func (m *Multi) MarginalOnto(dims []int) (*Multi, error) {
+	bounds := make([][]float64, len(dims))
+	for i, d := range dims {
+		if d < 0 || d >= m.Dims() {
+			return nil, fmt.Errorf("hist: marginal dim %d out of range", d)
+		}
+		bounds[i] = m.bounds[d]
+	}
+	out, err := NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range m.cells {
+		var nk CellKey
+		for i, d := range dims {
+			nk[i] = k[d]
+		}
+		out.cells[nk] += v
+	}
+	return out, nil
+}
+
+// MinSum and MaxSum return the support bounds of the sum of all
+// dimensions (the tightest interval the flattened cost can occupy).
+func (m *Multi) MinSum() float64 {
+	min := math.Inf(1)
+	for k := range m.cells {
+		var s float64
+		for d := 0; d < m.Dims(); d++ {
+			s += m.bounds[d][k[d]]
+		}
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// MaxSum returns the maximum possible sum over occupied cells.
+func (m *Multi) MaxSum() float64 {
+	max := math.Inf(-1)
+	for k := range m.cells {
+		var s float64
+		for d := 0; d < m.Dims(); d++ {
+			s += m.bounds[d][k[d]+1]
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// SumHistogram flattens the joint into the distribution of the sum of
+// its dimensions (Section 4.2): each hyper-bucket contributes the
+// interval [Σ lo_d, Σ hi_d) with its probability, and overlapping
+// intervals are rearranged into disjoint buckets. maxBuckets ≤ 0
+// leaves the result uncompressed.
+func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
+	if len(m.cells) == 0 {
+		return nil, fmt.Errorf("hist: empty multi-histogram")
+	}
+	ivals := make([]weightedInterval, 0, len(m.cells))
+	for k, v := range m.cells {
+		var lo, hi float64
+		for d := 0; d < m.Dims(); d++ {
+			lo += m.bounds[d][k[d]]
+			hi += m.bounds[d][k[d]+1]
+		}
+		ivals = append(ivals, weightedInterval{lo: lo, hi: hi, pr: v})
+	}
+	h, err := rearrange(ivals)
+	if err != nil {
+		return nil, err
+	}
+	if maxBuckets > 0 {
+		h = h.Compress(maxBuckets)
+	}
+	return h, nil
+}
+
+// RefineDim splits dimension d's buckets at the given cut points
+// (those inside the dimension's support), distributing each cell's
+// mass proportionally to sub-bucket width, per uniform-within-bucket.
+// The result represents the same distribution on a finer grid.
+func (m *Multi) RefineDim(d int, cuts []float64) (*Multi, error) {
+	if d < 0 || d >= m.Dims() {
+		return nil, fmt.Errorf("hist: refine dim %d out of range", d)
+	}
+	old := m.bounds[d]
+	merged := make([]float64, 0, len(old)+len(cuts))
+	merged = append(merged, old...)
+	for _, c := range cuts {
+		if c > old[0] && c < old[len(old)-1] {
+			merged = append(merged, c)
+		}
+	}
+	sort.Float64s(merged)
+	merged = dedupFloats(merged)
+
+	bounds := make([][]float64, m.Dims())
+	copy(bounds, m.bounds)
+	bounds[d] = merged
+	out, err := NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	// Map each old bucket on d to its new sub-bucket range.
+	type span struct{ first, last int } // inclusive new-bucket indices
+	spans := make([]span, len(old)-1)
+	for i := 0; i+1 < len(old); i++ {
+		first := sort.SearchFloat64s(merged, old[i])
+		last := sort.SearchFloat64s(merged, old[i+1]) - 1
+		spans[i] = span{first, last}
+	}
+	for k, v := range m.cells {
+		sp := spans[k[d]]
+		oldLo, oldHi := old[k[d]], old[k[d]+1]
+		for ni := sp.first; ni <= sp.last; ni++ {
+			frac := (merged[ni+1] - merged[ni]) / (oldHi - oldLo)
+			nk := k
+			nk[d] = uint16(ni)
+			out.cells[nk] += v * frac
+		}
+	}
+	return out, nil
+}
+
+// RemapDim rebuilds dimension d onto newBounds, a strictly increasing
+// boundary set that must contain every existing boundary of d (it may
+// extend beyond the current support; the extension cells simply stay
+// empty). Unlike RefineDim this aligns histograms with *different*
+// supports onto one shared grid, which the Equation 2 evaluators need
+// when two factors disagree about an edge's cost range.
+func (m *Multi) RemapDim(d int, newBounds []float64) (*Multi, error) {
+	if d < 0 || d >= m.Dims() {
+		return nil, fmt.Errorf("hist: remap dim %d out of range", d)
+	}
+	old := m.bounds[d]
+	// Every old boundary must appear in newBounds so old cells map to
+	// whole runs of new cells.
+	for _, b := range old {
+		i := sort.SearchFloat64s(newBounds, b)
+		if i >= len(newBounds) || newBounds[i] != b {
+			return nil, fmt.Errorf("hist: remap boundary %v missing from new grid", b)
+		}
+	}
+	bounds := make([][]float64, m.Dims())
+	copy(bounds, m.bounds)
+	bounds[d] = newBounds
+	out, err := NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	type span struct{ first, last int }
+	spans := make([]span, len(old)-1)
+	for i := 0; i+1 < len(old); i++ {
+		first := sort.SearchFloat64s(newBounds, old[i])
+		last := sort.SearchFloat64s(newBounds, old[i+1]) - 1
+		spans[i] = span{first, last}
+	}
+	for k, v := range m.cells {
+		sp := spans[k[d]]
+		oldLo, oldHi := old[k[d]], old[k[d]+1]
+		for ni := sp.first; ni <= sp.last; ni++ {
+			frac := (newBounds[ni+1] - newBounds[ni]) / (oldHi - oldLo)
+			nk := k
+			nk[d] = uint16(ni)
+			out.cells[nk] += v * frac
+		}
+	}
+	return out, nil
+}
+
+// UnionBounds merges two boundary sets into one strictly increasing
+// set covering both supports.
+func UnionBounds(a, b []float64) []float64 {
+	merged := make([]float64, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	sort.Float64s(merged)
+	return dedupFloats(merged)
+}
+
+// FromSamplesConfig controls multi-dimensional histogram construction.
+type FromSamplesConfig struct {
+	Resolution float64
+	Auto       AutoConfig
+	// FixedBuckets, when positive, skips the Auto selection and uses
+	// exactly this many V-Optimal buckets per dimension (the paper's
+	// Sta-b baseline).
+	FixedBuckets int
+}
+
+// DefaultFromSamplesConfig uses one-second resolution and the default
+// Auto settings.
+func DefaultFromSamplesConfig() FromSamplesConfig {
+	return FromSamplesConfig{Resolution: DefaultResolution, Auto: DefaultAutoConfig()}
+}
+
+// NewMultiFromSamples builds a multi-dimensional histogram from joint
+// cost observations, one row per trajectory and one column per edge
+// (Section 3.2): the bucket count of each dimension is chosen by the
+// Auto method on that dimension's marginal samples, V-Optimal places
+// the boundaries, and hyper-bucket probabilities are filled from the
+// joint observations.
+func NewMultiFromSamples(rows [][]float64, cfg FromSamplesConfig) (*Multi, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("hist: no joint samples")
+	}
+	d := len(rows[0])
+	if d == 0 || d > MaxDims {
+		return nil, fmt.Errorf("hist: %d dimensions out of range [1,%d]", d, MaxDims)
+	}
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("hist: row %d has %d values, want %d", i, len(r), d)
+		}
+	}
+	bounds := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(rows))
+		for i, r := range rows {
+			col[i] = r[j]
+		}
+		b := cfg.FixedBuckets
+		if b <= 0 {
+			res, err := AutoBucketCount(col, cfg.Resolution, cfg.Auto)
+			if err != nil {
+				return nil, fmt.Errorf("hist: dim %d: %w", j, err)
+			}
+			b = res.Chosen
+		}
+		raw, err := NewRaw(col, cfg.Resolution)
+		if err != nil {
+			return nil, fmt.Errorf("hist: dim %d: %w", j, err)
+		}
+		h, err := VOptimal(raw, b)
+		if err != nil {
+			return nil, fmt.Errorf("hist: dim %d: %w", j, err)
+		}
+		bd := make([]float64, 0, h.NumBuckets()+1)
+		for _, b := range h.Buckets() {
+			bd = append(bd, b.Lo)
+		}
+		bd = append(bd, h.Max())
+		bounds[j] = bd
+	}
+	m, err := NewMulti(bounds)
+	if err != nil {
+		return nil, err
+	}
+	snapped := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			snapped[j] = math.Round(v/cfg.Resolution) * cfg.Resolution
+		}
+		if !m.Add(snapped, 1) {
+			// A snapped value can only leave the grid through floating
+			// point rounding at the extremes; clamp it in.
+			for j := range snapped {
+				bd := bounds[j]
+				if snapped[j] < bd[0] {
+					snapped[j] = bd[0]
+				}
+				if snapped[j] >= bd[len(bd)-1] {
+					snapped[j] = bd[len(bd)-1] - 1e-9
+				}
+			}
+			m.Add(snapped, 1)
+		}
+	}
+	if err := m.Normalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

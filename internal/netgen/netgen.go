@@ -1,0 +1,172 @@
+// Package netgen generates synthetic city road networks that stand in
+// for the paper's Aalborg (N1, OpenStreetMap, all roads) and Beijing
+// (N2, highways and main roads only) networks. The generator lays out
+// a jittered grid of intersections, promotes periodic rows/columns to
+// arterial classes, threads a motorway ring around the center, drops a
+// fraction of residential streets, and makes a fraction of the
+// remainder one-way — yielding an urban-looking directed graph that is
+// deterministic in the seed.
+package netgen
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+)
+
+// Preset names a calibrated network size.
+type Preset string
+
+// Presets. Test is small enough for unit tests; Small suits benches;
+// Aalborg and Beijing approximate the paper's network scales.
+const (
+	PresetTest    Preset = "test"
+	PresetSmall   Preset = "small"
+	PresetAalborg Preset = "aalborg"
+	PresetBeijing Preset = "beijing"
+)
+
+// Config controls network generation.
+type Config struct {
+	Rows, Cols int
+	SpacingM   float64 // grid spacing in meters between intersections
+	Seed       int64
+	// RemoveProb drops a residential street entirely; OneWayProb turns
+	// a surviving residential street into a one-way street.
+	RemoveProb, OneWayProb float64
+	// ArterialEvery promotes every k-th row/column to primary roads;
+	// SecondaryEvery promotes every k-th to secondary.
+	ArterialEvery, SecondaryEvery int
+	Origin                        geo.Point
+}
+
+// PresetConfig returns the generation parameters for a preset.
+func PresetConfig(p Preset) Config {
+	base := Config{
+		SpacingM:       150,
+		RemoveProb:     0.12,
+		OneWayProb:     0.15,
+		ArterialEvery:  8,
+		SecondaryEvery: 4,
+		Origin:         geo.Point{Lat: 57.0488, Lon: 9.9217}, // Aalborg
+	}
+	switch p {
+	case PresetTest:
+		base.Rows, base.Cols, base.Seed = 12, 12, 1
+	case PresetSmall:
+		base.Rows, base.Cols, base.Seed = 40, 40, 2
+	case PresetAalborg:
+		base.Rows, base.Cols, base.Seed = 142, 142, 3
+	case PresetBeijing:
+		// Beijing N2 contains only highways and main roads: a coarser
+		// grid with wider spacing, almost no removals, and larger
+		// arterial share.
+		base.Rows, base.Cols, base.Seed = 119, 238, 4
+		base.SpacingM = 400
+		base.RemoveProb = 0.04
+		base.OneWayProb = 0.08
+		base.ArterialEvery = 6
+		base.SecondaryEvery = 3
+		base.Origin = geo.Point{Lat: 39.9042, Lon: 116.4074}
+	default:
+		base.Rows, base.Cols, base.Seed = 12, 12, 1
+	}
+	return base
+}
+
+// speedFor maps a road class to its speed limit in km/h.
+func speedFor(c graph.RoadClass) float64 {
+	switch c {
+	case graph.ClassMotorway:
+		return 110
+	case graph.ClassPrimary:
+		return 70
+	case graph.ClassSecondary:
+		return 50
+	default:
+		return 40
+	}
+}
+
+// Generate builds the network for cfg. The graph is deterministic in
+// cfg.Seed.
+func Generate(cfg Config) *graph.Graph {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		panic("netgen: grid must be at least 2x2")
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	proj := geo.NewProjection(cfg.Origin)
+	b := graph.NewBuilder()
+
+	// Lay out jittered grid vertices, centered on the origin.
+	ids := make([][]graph.VertexID, cfg.Rows)
+	pts := make(map[graph.VertexID]geo.Point, cfg.Rows*cfg.Cols)
+	x0 := -float64(cfg.Cols-1) * cfg.SpacingM / 2
+	y0 := -float64(cfg.Rows-1) * cfg.SpacingM / 2
+	for r := 0; r < cfg.Rows; r++ {
+		ids[r] = make([]graph.VertexID, cfg.Cols)
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rnd.Float64() - 0.5) * cfg.SpacingM * 0.35
+			jy := (rnd.Float64() - 0.5) * cfg.SpacingM * 0.35
+			pt := proj.ToPoint(x0+float64(c)*cfg.SpacingM+jx, y0+float64(r)*cfg.SpacingM+jy)
+			id := b.AddVertex(pt)
+			ids[r][c] = id
+			pts[id] = pt
+		}
+	}
+
+	// classOf returns the class of the street along a row or column
+	// index; the outermost ring and the central cross are motorways.
+	classOf := func(idx, max int) graph.RoadClass {
+		if idx == 0 || idx == max-1 || idx == max/2 {
+			return graph.ClassMotorway
+		}
+		if cfg.ArterialEvery > 0 && idx%cfg.ArterialEvery == 0 {
+			return graph.ClassPrimary
+		}
+		if cfg.SecondaryEvery > 0 && idx%cfg.SecondaryEvery == 0 {
+			return graph.ClassSecondary
+		}
+		return graph.ClassResidential
+	}
+
+	addStreet := func(va, vb graph.VertexID, class graph.RoadClass) {
+		length := geo.Haversine(pts[va], pts[vb])
+		if length < 1 {
+			length = 1
+		}
+		speed := speedFor(class)
+		if class == graph.ClassResidential {
+			if rnd.Float64() < cfg.RemoveProb {
+				return // street does not exist
+			}
+			if rnd.Float64() < cfg.OneWayProb {
+				// One-way street with random direction.
+				if rnd.Intn(2) == 0 {
+					b.AddEdge(va, vb, length, speed, class)
+				} else {
+					b.AddEdge(vb, va, length, speed, class)
+				}
+				return
+			}
+		}
+		b.AddEdge(va, vb, length, speed, class)
+		b.AddEdge(vb, va, length, speed, class)
+	}
+
+	// Horizontal streets follow the row's class; vertical follow the
+	// column's. A street adjacent to a motorway/arterial index takes
+	// the stronger class of its two cells.
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c+1 < cfg.Cols; c++ {
+			addStreet(ids[r][c], ids[r][c+1], classOf(r, cfg.Rows))
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		for r := 0; r+1 < cfg.Rows; r++ {
+			addStreet(ids[r][c], ids[r+1][c], classOf(c, cfg.Cols))
+		}
+	}
+	return b.Freeze()
+}

@@ -1,0 +1,174 @@
+package netgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateTestPreset(t *testing.T) {
+	g := Generate(PresetConfig(PresetTest))
+	if g.NumVertices() != 144 {
+		t.Fatalf("vertices = %d, want 144", g.NumVertices())
+	}
+	if g.NumEdges() < 300 {
+		t.Fatalf("edges = %d, want a few hundred", g.NumEdges())
+	}
+	// Every class should appear.
+	seen := make(map[graph.RoadClass]int)
+	for _, e := range g.Edges() {
+		seen[e.Class]++
+		if e.LengthM <= 0 || e.SpeedKmh <= 0 {
+			t.Fatalf("edge %d has bad attributes: %+v", e.ID, e)
+		}
+	}
+	for c := graph.RoadClass(0); int(c) < graph.NumRoadClasses; c++ {
+		if seen[c] == 0 {
+			t.Errorf("class %v missing from generated network", c)
+		}
+	}
+	// Residential must dominate in an all-roads city.
+	if seen[graph.ClassResidential] < seen[graph.ClassMotorway] {
+		t.Error("residential should outnumber motorway edges")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := PresetConfig(PresetTest)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give identical sizes")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea, eb := a.Edge(graph.EdgeID(i)), b.Edge(graph.EdgeID(i))
+		if ea != eb {
+			t.Fatalf("edge %d differs between runs: %+v vs %+v", i, ea, eb)
+		}
+	}
+	cfg.Seed = 99
+	c := Generate(cfg)
+	if c.NumEdges() == a.NumEdges() {
+		// Sizes can coincide, but full equality would be suspicious.
+		same := true
+		for i := 0; i < c.NumEdges(); i++ {
+			if c.Edge(graph.EdgeID(i)) != a.Edge(graph.EdgeID(i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical networks")
+		}
+	}
+}
+
+func TestGenerateConnectivity(t *testing.T) {
+	g := Generate(PresetConfig(PresetTest))
+	// From the center vertex, most of the network must be reachable.
+	center := graph.VertexID(g.NumVertices() / 2)
+	dist := g.ShortestDistances(center, graph.LengthWeight)
+	reach := 0
+	for _, d := range dist {
+		if d < 1e17 {
+			reach++
+		}
+	}
+	if frac := float64(reach) / float64(g.NumVertices()); frac < 0.9 {
+		t.Fatalf("only %.0f%% of vertices reachable from center", frac*100)
+	}
+}
+
+func TestGenerateEdgeLengthsMatchSpacing(t *testing.T) {
+	cfg := PresetConfig(PresetTest)
+	g := Generate(cfg)
+	for _, e := range g.Edges() {
+		if e.LengthM < cfg.SpacingM*0.2 || e.LengthM > cfg.SpacingM*2.5 {
+			t.Fatalf("edge length %v far from spacing %v", e.LengthM, cfg.SpacingM)
+		}
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	aal := PresetConfig(PresetAalborg)
+	if aal.Rows*aal.Cols < 20000 {
+		t.Errorf("aalborg preset too small: %d vertices", aal.Rows*aal.Cols)
+	}
+	bj := PresetConfig(PresetBeijing)
+	if bj.Rows*bj.Cols < 28000 {
+		t.Errorf("beijing preset too small: %d vertices", bj.Rows*bj.Cols)
+	}
+	if bj.SpacingM <= aal.SpacingM {
+		t.Error("beijing (main roads only) should have wider spacing")
+	}
+	if def := PresetConfig(Preset("bogus")); def.Rows < 2 {
+		t.Error("unknown preset should fall back to a usable config")
+	}
+}
+
+func TestGeneratePanicsOnTinyGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1x1 grid")
+		}
+	}()
+	Generate(Config{Rows: 1, Cols: 1, SpacingM: 100})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := Generate(PresetConfig(PresetTest))
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(graph.EdgeID(i)), g2.Edge(graph.EdgeID(i))
+		if a.From != b.From || a.To != b.To || a.Class != b.Class {
+			t.Fatalf("edge %d mismatch after round trip", i)
+		}
+		if diff := a.LengthM - b.LengthM; diff > 0.02 || diff < -0.02 {
+			t.Fatalf("edge %d length drifted: %v vs %v", i, a.LengthM, b.LengthM)
+		}
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad record", "X 1 2\n"},
+		{"short vertex", "V 1\n"},
+		{"bad vertex floats", "V a b\n"},
+		{"short edge", "V 1 2\nV 3 4\nE 0 1\n"},
+		{"edge before vertices", "E 0 1 10 50 1\n"},
+		{"bad class", "V 1 2\nV 3 4\nE 0 1 10 50 9\n"},
+		{"edge out of range", "V 1 2\nV 3 4\nE 0 7 10 50 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadGraph(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadGraphSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nV 57.0 9.9\nV 57.1 9.9\nE 0 1 100 50 2\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}

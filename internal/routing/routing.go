@@ -1,0 +1,188 @@
+// Package routing implements the DFS-based stochastic routing
+// algorithm the paper integrates its estimator into (Section 4.3 and
+// Figure 18): a probabilistic budget query in the style of Hua and Pei
+// [10] that searches for the path maximizing the probability of
+// arriving within a travel-time budget, pruning candidates whose
+// optimistic arrival probability cannot beat the incumbent.
+//
+// The path-cost estimator is pluggable (OD / HP / LB — any core
+// method), which is exactly how the paper compares LB-DFS, HP-DFS and
+// OD-DFS.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hist"
+)
+
+// Query is a probabilistic budget query: find the path from Source to
+// Dest departing at Depart that maximizes P(travel time ≤ Budget).
+type Query struct {
+	Source, Dest graph.VertexID
+	Depart       float64
+	Budget       float64 // seconds
+}
+
+// Options tunes the search.
+type Options struct {
+	// Method selects the cost estimator (OD by default); RankCap caps
+	// OD's variable ranks.
+	Method  core.Method
+	RankCap int
+	// Incremental reuses chain states along the DFS ("path + another
+	// edge", Section 4.3); when false every prefix is recomputed from
+	// scratch, which is the Σ RT(P, method) cost model of the paper.
+	Incremental bool
+	// MaxExpansions bounds the number of explored prefixes (0 = the
+	// default of 20000).
+	MaxExpansions int
+	// MaxEdges bounds candidate path cardinality (0 = 150).
+	MaxEdges int
+}
+
+// Result reports the best path found.
+type Result struct {
+	Path     graph.Path
+	Prob     float64 // P(cost ≤ budget) under the estimator
+	Dist     *hist.Histogram
+	Explored int // prefixes whose distribution was evaluated
+	Pruned   int // prefixes cut by the probabilistic bound
+	Elapsed  time.Duration
+}
+
+// Router answers stochastic routing queries over one hybrid graph.
+type Router struct {
+	h *core.HybridGraph
+}
+
+// New creates a Router.
+func New(h *core.HybridGraph) *Router {
+	return &Router{h: h}
+}
+
+// BestPath runs the DFS budget query. It returns an error when the
+// destination is unreachable or no path satisfies the budget with
+// positive probability.
+func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.Method == "" {
+		opt.Method = core.MethodOD
+	}
+	if opt.MaxExpansions == 0 {
+		opt.MaxExpansions = 20000
+	}
+	if opt.MaxEdges == 0 {
+		opt.MaxEdges = 150
+	}
+	g := r.h.G
+	if q.Source == q.Dest {
+		return nil, fmt.Errorf("routing: source equals destination")
+	}
+	// Admissible remaining-time lower bounds (free-flow Dijkstra on the
+	// reverse graph).
+	lb := g.ReverseShortestDistances(q.Dest, graph.FreeFlowWeight)
+	if math.IsInf(lb[q.Source], 1) {
+		return nil, fmt.Errorf("routing: destination unreachable from source")
+	}
+
+	res := &Result{}
+	best := 0.0
+	visited := make(map[graph.VertexID]bool)
+	visited[q.Source] = true
+
+	var dfs func(prefix graph.Path, state *core.PathState, v graph.VertexID) error
+	dfs = func(prefix graph.Path, state *core.PathState, v graph.VertexID) error {
+		if res.Explored >= opt.MaxExpansions || len(prefix) >= opt.MaxEdges {
+			return nil
+		}
+		// Expand neighbors closest to the destination first so a good
+		// incumbent is found early and prunes aggressively.
+		outs := append([]graph.EdgeID(nil), g.Out(v)...)
+		sort.Slice(outs, func(i, j int) bool {
+			return lb[g.Edge(outs[i]).To] < lb[g.Edge(outs[j]).To]
+		})
+		for _, eid := range outs {
+			e := g.Edge(eid)
+			if visited[e.To] {
+				continue
+			}
+			if math.IsInf(lb[e.To], 1) {
+				continue // cannot reach the destination from there
+			}
+			if res.Explored >= opt.MaxExpansions {
+				return nil
+			}
+			var ns *core.PathState
+			var dist *hist.Histogram
+			var err error
+			if opt.Incremental {
+				if state == nil {
+					ns, err = r.h.StartPath(eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
+				} else {
+					ns, err = r.h.ExtendPath(state, eid)
+				}
+				if err != nil {
+					return err
+				}
+				dist = ns.Dist()
+			} else {
+				np := append(prefix.Clone(), eid)
+				qr, err := r.h.CostDistribution(np, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
+				if err != nil {
+					return err
+				}
+				dist = qr.Dist
+			}
+			res.Explored++
+
+			// Optimistic bound: the remaining edges take at least the
+			// free-flow time, so P(total ≤ B) ≤ P(prefix ≤ B − lb).
+			bound := dist.CDF(q.Budget - lb[e.To])
+			if e.To == q.Dest {
+				p := dist.CDF(q.Budget)
+				if p > best || res.Path == nil {
+					best = p
+					res.Path = append(prefix.Clone(), eid)
+					res.Prob = p
+					res.Dist = dist
+				}
+				continue
+			}
+			if bound <= best {
+				res.Pruned++
+				continue
+			}
+			visited[e.To] = true
+			err = dfs(append(prefix, eid), ns, e.To)
+			visited[e.To] = false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(nil, nil, q.Source); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	if res.Path == nil {
+		return nil, fmt.Errorf("routing: no path to destination found within limits")
+	}
+	return res, nil
+}
+
+// FastestPath is the deterministic comparison baseline: the free-flow
+// Dijkstra path and its (deterministic) travel time.
+func (r *Router) FastestPath(src, dst graph.VertexID) (graph.Path, float64, error) {
+	p, d, ok := r.h.G.ShortestPath(src, dst, graph.FreeFlowWeight)
+	if !ok {
+		return nil, 0, fmt.Errorf("routing: destination unreachable")
+	}
+	return p, d, nil
+}

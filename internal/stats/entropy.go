@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hist"
+)
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+// EntropyHistogram returns the differential entropy of a
+// piecewise-uniform histogram: −Σ pr·log(pr/width) in nats.
+func EntropyHistogram(h *hist.Histogram) float64 {
+	var e float64
+	for _, b := range h.Buckets() {
+		if b.Pr <= 0 {
+			continue
+		}
+		e -= b.Pr * math.Log(b.Pr/b.Width())
+	}
+	return e
+}
+
+// EntropyMulti returns the differential entropy of a multi-dimensional
+// histogram: −Σ pr·log(pr/volume) in nats, where volume is the
+// hyper-bucket's product of side lengths. This is the H(·) of
+// Theorem 2 under the histogram representation.
+func EntropyMulti(m *hist.Multi) float64 {
+	var e float64
+	m.ForEach(func(k hist.CellKey, pr float64) {
+		if pr <= 0 {
+			return
+		}
+		vol := 1.0
+		for d := 0; d < m.Dims(); d++ {
+			lo, hi := m.BucketRange(d, int(k[d]))
+			vol *= hi - lo
+		}
+		e -= pr * math.Log(pr/vol)
+	})
+	return e
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

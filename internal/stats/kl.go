@@ -1,0 +1,108 @@
+// Package stats provides the statistical measures used in the paper's
+// analyses and evaluation: Kullback-Leibler divergence between cost
+// distributions (Figures 4, 11, 14), entropies of histograms and joint
+// histograms (Theorem 2, Figures 8 and 15), and maximum-likelihood
+// fits of the standard distributions the paper compares against
+// (Gaussian, Gamma, exponential; Figures 1(b) and 11(a)).
+package stats
+
+import (
+	"math"
+
+	"repro/internal/hist"
+)
+
+// SmoothEps is the mass mixed into the reference distribution when
+// computing KL divergence so that the divergence stays finite where
+// the reference has empty support; the paper's KL comparisons
+// implicitly need the same guard.
+const SmoothEps = 1e-9
+
+// KLHistograms returns KL(P ‖ Q) for piecewise-uniform histograms:
+// the integral of p·log(p/q) over the union of bucket boundaries.
+// Regions where P has mass but Q does not contribute via an
+// ε-smoothed Q to keep the result finite; the result is never
+// negative (clamped at 0 against floating-point noise).
+func KLHistograms(p, q *hist.Histogram) float64 {
+	cuts := make([]float64, 0, 2*(p.NumBuckets()+q.NumBuckets()))
+	for _, b := range p.Buckets() {
+		cuts = append(cuts, b.Lo, b.Hi)
+	}
+	for _, b := range q.Buckets() {
+		cuts = append(cuts, b.Lo, b.Hi)
+	}
+	cuts = sortedUnique(cuts)
+
+	lo := math.Min(p.Min(), q.Min())
+	hi := math.Max(p.Max(), q.Max())
+	span := hi - lo
+	var kl float64
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		pm := p.MassOn(a, b)
+		if pm <= 0 {
+			continue
+		}
+		qm := q.MassOn(a, b)
+		// Smooth Q with a tiny uniform component over the joint span.
+		qm = (1-SmoothEps)*qm + SmoothEps*(b-a)/span
+		kl += pm * math.Log(pm/qm)
+	}
+	if kl < 0 {
+		kl = 0
+	}
+	return kl
+}
+
+// KLRawVsHistogram returns the discrete KL divergence of the histogram
+// approximation H from the raw cost distribution D over D's value
+// lattice: Σ_c D(c)·log(D(c)/H(c)), with H(c) the histogram mass on
+// the lattice cell of c (ε-smoothed). This is the comparison behind
+// Figure 11(a)/(b).
+func KLRawVsHistogram(d *hist.Raw, h *hist.Histogram) float64 {
+	var kl float64
+	for _, e := range d.Entries {
+		hm := h.MassOn(e.Value, e.Value+d.Resolution)
+		hm = (1-SmoothEps)*hm + SmoothEps/float64(d.NumDistinct())
+		kl += e.Perc * math.Log(e.Perc/hm)
+	}
+	if kl < 0 {
+		kl = 0
+	}
+	return kl
+}
+
+// KLRawVsFunc returns the discrete KL divergence of a fitted
+// continuous distribution (given by its CDF) from the raw
+// distribution, evaluated on the raw value lattice.
+func KLRawVsFunc(d *hist.Raw, cdf func(float64) float64) float64 {
+	var kl float64
+	for _, e := range d.Entries {
+		m := cdf(e.Value+d.Resolution) - cdf(e.Value)
+		if m < 0 {
+			m = 0
+		}
+		m = (1-SmoothEps)*m + SmoothEps/float64(d.NumDistinct())
+		kl += e.Perc * math.Log(e.Perc/m)
+	}
+	if kl < 0 {
+		kl = 0
+	}
+	return kl
+}
+
+func sortedUnique(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	// Insertion sort is fine for the small cut sets seen here, but use
+	// the library sort for clarity and robustness.
+	sortFloats(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

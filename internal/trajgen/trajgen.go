@@ -1,0 +1,372 @@
+// Package trajgen synthesizes vehicle trajectory workloads over a road
+// network, substituting for the paper's real GPS fleets. Demand
+// follows a gravity model over zones with a pool of heavily repeated
+// commuter origin–destination pairs, departures follow a double-peaked
+// daily profile, routes come from per-trip perturbed shortest paths,
+// and per-edge travel costs come from the traffic model — so the
+// resulting collection exhibits the paper's skewed coverage
+// (Figure 3), inter-edge dependence (Figure 4) and time-varying,
+// multi-modal cost distributions (Figure 1(b)).
+package trajgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// Config controls workload generation.
+type Config struct {
+	Seed     int64
+	NumTrips int
+	// Zones is the demand grid resolution (Zones×Zones cells).
+	Zones int
+	// CommuterFrac is the fraction of trips drawn from a small pool of
+	// repeated OD pairs (dense corridors); CommuterPool is the pool
+	// size.
+	CommuterFrac float64
+	CommuterPool int
+	// Days spreads trips over this many days of collection.
+	Days int
+	// RoutePerturbSigma is the lognormal sigma of the per-trip edge
+	// weight perturbation used for route diversity.
+	RoutePerturbSigma float64
+	// MinEdges and MaxEdges bound the usable route lengths.
+	MinEdges, MaxEdges int
+	// WithEmissions also computes per-edge GHG costs.
+	WithEmissions bool
+	// GPS emission (raw records for the map-matching pipeline).
+	EmitGPS           bool
+	SamplingIntervalS float64
+	GPSNoiseM         float64
+}
+
+// DefaultConfig returns a workload calibration suitable for tests and
+// benches; experiments scale NumTrips up.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		NumTrips:          2000,
+		Zones:             6,
+		CommuterFrac:      0.45,
+		CommuterPool:      40,
+		Days:              30,
+		RoutePerturbSigma: 0.25,
+		MinEdges:          3,
+		MaxEdges:          120,
+		SamplingIntervalS: 5,
+		GPSNoiseM:         8,
+	}
+}
+
+// Generator produces trajectory workloads for one network and traffic
+// model.
+type Generator struct {
+	g     *graph.Graph
+	model *traffic.Model
+	cfg   Config
+}
+
+// New creates a Generator; zero config fields fall back to defaults.
+func New(g *graph.Graph, model *traffic.Model, cfg Config) *Generator {
+	def := DefaultConfig()
+	if cfg.NumTrips == 0 {
+		cfg.NumTrips = def.NumTrips
+	}
+	if cfg.Zones == 0 {
+		cfg.Zones = def.Zones
+	}
+	if cfg.CommuterFrac == 0 {
+		cfg.CommuterFrac = def.CommuterFrac
+	}
+	if cfg.CommuterPool == 0 {
+		cfg.CommuterPool = def.CommuterPool
+	}
+	if cfg.Days == 0 {
+		cfg.Days = def.Days
+	}
+	if cfg.RoutePerturbSigma == 0 {
+		cfg.RoutePerturbSigma = def.RoutePerturbSigma
+	}
+	if cfg.MinEdges == 0 {
+		cfg.MinEdges = def.MinEdges
+	}
+	if cfg.MaxEdges == 0 {
+		cfg.MaxEdges = def.MaxEdges
+	}
+	if cfg.SamplingIntervalS == 0 {
+		cfg.SamplingIntervalS = def.SamplingIntervalS
+	}
+	if cfg.GPSNoiseM == 0 {
+		cfg.GPSNoiseM = def.GPSNoiseM
+	}
+	return &Generator{g: g, model: model, cfg: cfg}
+}
+
+// Result is a generated workload: the matched trajectory collection
+// every estimator consumes and, when EmitGPS is set, the raw GPS
+// trajectories for the map-matching pipeline.
+type Result struct {
+	Collection *gps.Collection
+	Raw        []*gps.Trajectory
+}
+
+// zoneModel is the gravity demand over a Zones×Zones grid.
+type zoneModel struct {
+	zones     int
+	vertices  [][]graph.VertexID // per-zone vertex lists
+	weights   []float64          // per-zone attractiveness
+	centroids []geo.XY
+}
+
+func buildZones(g *graph.Graph, zones int, rnd *rand.Rand) *zoneModel {
+	bb := g.BBox()
+	proj := geo.NewProjection(bb.Center())
+	zm := &zoneModel{
+		zones:     zones,
+		vertices:  make([][]graph.VertexID, zones*zones),
+		weights:   make([]float64, zones*zones),
+		centroids: make([]geo.XY, zones*zones),
+	}
+	minX, minY := proj.ToXY(geo.Point{Lat: bb.MinLat, Lon: bb.MinLon})
+	maxX, maxY := proj.ToXY(geo.Point{Lat: bb.MaxLat, Lon: bb.MaxLon})
+	spanX, spanY := maxX-minX, maxY-minY
+	for _, v := range g.Vertices() {
+		x, y := proj.ToXY(v.Pt)
+		zc := int((x - minX) / spanX * float64(zones))
+		zr := int((y - minY) / spanY * float64(zones))
+		if zc >= zones {
+			zc = zones - 1
+		}
+		if zr >= zones {
+			zr = zones - 1
+		}
+		zi := zr*zones + zc
+		zm.vertices[zi] = append(zm.vertices[zi], v.ID)
+	}
+	for zi := range zm.weights {
+		zr, zc := zi/zones, zi%zones
+		cx := minX + (float64(zc)+0.5)*spanX/float64(zones)
+		cy := minY + (float64(zr)+0.5)*spanY/float64(zones)
+		zm.centroids[zi] = geo.XY{X: cx, Y: cy}
+		if len(zm.vertices[zi]) == 0 {
+			continue
+		}
+		// Lognormal attractiveness with a boost toward the center, so
+		// central corridors see the densest traffic.
+		centerBoost := 1.0 +
+			2.0*math.Exp(-(cx*cx+cy*cy)/(0.15*(spanX*spanX+spanY*spanY)))
+		zm.weights[zi] = math.Exp(rnd.NormFloat64()*0.8) * centerBoost
+	}
+	return zm
+}
+
+// sampleZone draws a zone index proportional to the given weights.
+func sampleZone(weights []float64, rnd *rand.Rand) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	u := rnd.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// sampleOD draws an origin and destination vertex under the gravity
+// model: destination choice decays with distance from the origin zone.
+func (zm *zoneModel) sampleOD(rnd *rand.Rand) (graph.VertexID, graph.VertexID) {
+	oz := sampleZone(zm.weights, rnd)
+	for len(zm.vertices[oz]) == 0 {
+		oz = sampleZone(zm.weights, rnd)
+	}
+	// Gravity destination weights.
+	dw := make([]float64, len(zm.weights))
+	oc := zm.centroids[oz]
+	for i, w := range zm.weights {
+		if len(zm.vertices[i]) == 0 || i == oz {
+			continue
+		}
+		d := oc.Dist(zm.centroids[i]) + 500
+		dw[i] = w / (d / 1000)
+	}
+	dz := sampleZone(dw, rnd)
+	if len(zm.vertices[dz]) == 0 {
+		dz = oz
+	}
+	o := zm.vertices[oz][rnd.Intn(len(zm.vertices[oz]))]
+	d := zm.vertices[dz][rnd.Intn(len(zm.vertices[dz]))]
+	return o, d
+}
+
+// departureTime samples an absolute departure: a uniform day plus a
+// double-peaked time of day (35% AM peak, 35% PM peak, 30% daytime
+// uniform).
+func departureTime(rnd *rand.Rand, days int) float64 {
+	day := float64(rnd.Intn(days))
+	var tod float64
+	switch u := rnd.Float64(); {
+	case u < 0.35:
+		tod = 8*3600 + rnd.NormFloat64()*3000
+	case u < 0.70:
+		tod = 17*3600 + rnd.NormFloat64()*3600
+	default:
+		tod = 6*3600 + rnd.Float64()*16*3600
+	}
+	if tod < 0 {
+		tod = 0
+	}
+	if tod >= gps.SecondsPerDay {
+		tod = gps.SecondsPerDay - 1
+	}
+	return day*gps.SecondsPerDay + tod
+}
+
+// perturbedWeight returns a deterministic per-trip edge weight: the
+// free-flow time scaled by a lognormal multiplier derived by hashing
+// (tripSeed, edgeID), giving route diversity at O(1) per edge.
+func perturbedWeight(tripSeed uint64, sigma float64) graph.WeightFunc {
+	return func(e graph.Edge) float64 {
+		h := splitmix64(tripSeed ^ (uint64(e.ID)+1)*0x9e3779b97f4a7c15)
+		// Map to a standard normal via two uniform halves (Box–Muller
+		// would need two hashes; a sum of uniforms is plenty here).
+		u1 := float64(h>>40) / float64(1<<24)
+		u2 := float64(h&0xffffff) / float64(1<<24)
+		z := (u1 + u2 - 1) * 2.449 // approx unit variance
+		return e.FreeFlowSeconds() * math.Exp(z*sigma)
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Generate synthesizes the workload.
+func (gen *Generator) Generate() *Result {
+	rnd := rand.New(rand.NewSource(gen.cfg.Seed))
+	zm := buildZones(gen.g, gen.cfg.Zones, rnd)
+
+	// Commuter OD pool: heavily repeated pairs.
+	type od struct{ o, d graph.VertexID }
+	pool := make([]od, 0, gen.cfg.CommuterPool)
+	for len(pool) < gen.cfg.CommuterPool {
+		o, d := zm.sampleOD(rnd)
+		if o != d {
+			pool = append(pool, od{o, d})
+		}
+	}
+
+	var trajs []*gps.Matched
+	var raw []*gps.Trajectory
+	var recordCount int64
+	var proj *geo.Projection
+	if gen.cfg.EmitGPS {
+		proj = geo.NewProjection(gen.g.BBox().Center())
+	}
+
+	id := int64(0)
+	attempts := 0
+	for len(trajs) < gen.cfg.NumTrips && attempts < gen.cfg.NumTrips*20 {
+		attempts++
+		var o, d graph.VertexID
+		if rnd.Float64() < gen.cfg.CommuterFrac {
+			p := pool[rnd.Intn(len(pool))]
+			o, d = p.o, p.d
+		} else {
+			o, d = zm.sampleOD(rnd)
+		}
+		if o == d {
+			continue
+		}
+		w := perturbedWeight(uint64(rnd.Int63()), gen.cfg.RoutePerturbSigma)
+		path, _, ok := gen.g.ShortestPath(o, d, w)
+		if !ok || len(path) < gen.cfg.MinEdges || len(path) > gen.cfg.MaxEdges {
+			continue
+		}
+		depart := departureTime(rnd, gen.cfg.Days)
+		trip := gen.model.NewTrip(rnd, depart)
+		costs := make([]float64, len(path))
+		var emissions []float64
+		if gen.cfg.WithEmissions {
+			emissions = make([]float64, len(path))
+		}
+		t := depart
+		for i, eid := range path {
+			e := gen.g.Edge(eid)
+			c := trip.TraverseEdge(e, t)
+			costs[i] = c
+			if emissions != nil {
+				emissions[i] = traffic.Emissions(e, c)
+			}
+			t += c
+		}
+		m := &gps.Matched{
+			ID:        id,
+			Path:      path,
+			Depart:    depart,
+			EdgeCosts: costs,
+			Emissions: emissions,
+		}
+		trajs = append(trajs, m)
+		if gen.cfg.EmitGPS {
+			tr := gen.emitGPS(rnd, proj, m)
+			raw = append(raw, tr)
+			recordCount += int64(len(tr.Records))
+		} else {
+			// Estimate records at a 1 Hz sampling rate for reporting.
+			recordCount += int64(m.TotalCost())
+		}
+		id++
+	}
+	return &Result{Collection: gps.NewCollection(trajs, recordCount), Raw: raw}
+}
+
+// emitGPS renders a matched trajectory as noisy GPS fixes: the vehicle
+// moves along each edge's straight-line geometry at the constant speed
+// implied by the edge's sampled cost, and fixes are taken every
+// SamplingIntervalS seconds with Gaussian position noise.
+func (gen *Generator) emitGPS(rnd *rand.Rand, proj *geo.Projection, m *gps.Matched) *gps.Trajectory {
+	tr := &gps.Trajectory{ID: m.ID}
+	interval := gen.cfg.SamplingIntervalS
+	noise := gen.cfg.GPSNoiseM
+
+	emit := func(pt geo.Point, at float64) {
+		x, y := proj.ToXY(pt)
+		x += rnd.NormFloat64() * noise
+		y += rnd.NormFloat64() * noise
+		tr.Records = append(tr.Records, gps.Record{Pt: proj.ToPoint(x, y), Time: at})
+	}
+
+	t := m.Depart
+	next := m.Depart
+	for i, eid := range m.Path {
+		e := gen.g.Edge(eid)
+		a := gen.g.Vertex(e.From).Pt
+		b := gen.g.Vertex(e.To).Pt
+		ax, ay := proj.ToXY(a)
+		bx, by := proj.ToXY(b)
+		dur := m.EdgeCosts[i]
+		for next < t+dur {
+			frac := (next - t) / dur
+			pt := proj.ToPoint(ax+(bx-ax)*frac, ay+(by-ay)*frac)
+			emit(pt, next)
+			next += interval
+		}
+		t += dur
+	}
+	// Always include the final arrival fix.
+	last := gen.g.Vertex(gen.g.Edge(m.Path[len(m.Path)-1]).To).Pt
+	emit(last, t)
+	return tr
+}

@@ -1,0 +1,185 @@
+package trajgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gps"
+	"repro/internal/netgen"
+	"repro/internal/traffic"
+)
+
+func testWorkload(t testing.TB, cfg Config) *Result {
+	t.Helper()
+	g := netgen.Generate(netgen.PresetConfig(netgen.PresetTest))
+	gen := New(g, traffic.NewModel(traffic.Config{}), cfg)
+	return gen.Generate()
+}
+
+func TestGenerateBasics(t *testing.T) {
+	res := testWorkload(t, Config{Seed: 1, NumTrips: 300})
+	c := res.Collection
+	if c.Len() != 300 {
+		t.Fatalf("trips = %d, want 300", c.Len())
+	}
+	g := netgen.Generate(netgen.PresetConfig(netgen.PresetTest))
+	for i := 0; i < c.Len(); i++ {
+		m := c.Traj(i)
+		if err := m.Validate(g); err != nil {
+			t.Fatalf("trajectory %d invalid: %v", i, err)
+		}
+		if len(m.Path) < 3 {
+			t.Fatalf("trajectory %d shorter than MinEdges", i)
+		}
+		if m.Depart < 0 {
+			t.Fatalf("trajectory %d negative departure", i)
+		}
+	}
+	if c.Records() <= 0 {
+		t.Fatal("record estimate missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := testWorkload(t, Config{Seed: 7, NumTrips: 100})
+	b := testWorkload(t, Config{Seed: 7, NumTrips: 100})
+	if a.Collection.Len() != b.Collection.Len() {
+		t.Fatal("same seed, different trip counts")
+	}
+	for i := 0; i < a.Collection.Len(); i++ {
+		ma, mb := a.Collection.Traj(i), b.Collection.Traj(i)
+		if !ma.Path.Equal(mb.Path) || ma.Depart != mb.Depart {
+			t.Fatalf("trajectory %d differs across identical seeds", i)
+		}
+		for j := range ma.EdgeCosts {
+			if ma.EdgeCosts[j] != mb.EdgeCosts[j] {
+				t.Fatalf("trajectory %d cost %d differs", i, j)
+			}
+		}
+	}
+	c := testWorkload(t, Config{Seed: 8, NumTrips: 100})
+	if c.Collection.Traj(0).Path.Equal(a.Collection.Traj(0).Path) &&
+		c.Collection.Traj(0).Depart == a.Collection.Traj(0).Depart {
+		t.Fatal("different seeds gave identical first trajectory")
+	}
+}
+
+func TestCommuterSkewCreatesDenseCorridors(t *testing.T) {
+	res := testWorkload(t, Config{Seed: 3, NumTrips: 800})
+	c := res.Collection
+	// Count identical full paths; the commuter pool must produce
+	// heavily repeated paths, which is what gives long paths enough
+	// support for high-rank variables.
+	counts := make(map[string]int)
+	for i := 0; i < c.Len(); i++ {
+		counts[c.Traj(i).Path.Key()]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 10 {
+		t.Fatalf("max identical-path count = %d, want ≥ 10 (commuter corridors)", max)
+	}
+}
+
+func TestDeparturesFollowDoublePeak(t *testing.T) {
+	res := testWorkload(t, Config{Seed: 4, NumTrips: 1500})
+	c := res.Collection
+	hourCounts := make([]int, 24)
+	for i := 0; i < c.Len(); i++ {
+		h := int(gps.SecondsOfDay(c.Traj(i).Depart) / 3600)
+		hourCounts[h]++
+	}
+	peak := hourCounts[8] + hourCounts[7] + hourCounts[17] + hourCounts[16]
+	night := hourCounts[1] + hourCounts[2] + hourCounts[3] + hourCounts[4]
+	if peak < night*5 {
+		t.Fatalf("peaks %d vs night %d: demand profile missing", peak, night)
+	}
+}
+
+func TestEmissionsOptional(t *testing.T) {
+	res := testWorkload(t, Config{Seed: 5, NumTrips: 50, WithEmissions: true})
+	for i := 0; i < res.Collection.Len(); i++ {
+		m := res.Collection.Traj(i)
+		if m.Emissions == nil || len(m.Emissions) != len(m.Path) {
+			t.Fatalf("trajectory %d missing emissions", i)
+		}
+		for _, g := range m.Emissions {
+			if g <= 0 {
+				t.Fatalf("trajectory %d non-positive emissions", i)
+			}
+		}
+	}
+	res2 := testWorkload(t, Config{Seed: 5, NumTrips: 10})
+	if res2.Collection.Traj(0).Emissions != nil {
+		t.Fatal("emissions should be nil when not requested")
+	}
+}
+
+func TestEmitGPS(t *testing.T) {
+	res := testWorkload(t, Config{Seed: 6, NumTrips: 40, EmitGPS: true, SamplingIntervalS: 2})
+	if len(res.Raw) != res.Collection.Len() {
+		t.Fatalf("raw trajectories = %d, want %d", len(res.Raw), res.Collection.Len())
+	}
+	g := netgen.Generate(netgen.PresetConfig(netgen.PresetTest))
+	bb := g.BBox()
+	for i, tr := range res.Raw {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("raw %d: %v", i, err)
+		}
+		m := res.Collection.Traj(i)
+		// Duration of the GPS trace matches the matched costs.
+		if math.Abs(tr.Duration()-m.TotalCost()) > m.TotalCost()*0.2+10 {
+			t.Fatalf("raw %d duration %v vs cost %v", i, tr.Duration(), m.TotalCost())
+		}
+		// Fixes are near the network (within noise + jitter margin).
+		for _, r := range tr.Records {
+			if r.Pt.Lat < bb.MinLat-0.01 || r.Pt.Lat > bb.MaxLat+0.01 {
+				t.Fatalf("raw %d fix far outside network: %v", i, r.Pt)
+			}
+		}
+		// Sampling rate respected (records ≈ duration / interval).
+		wantRecords := int(tr.Duration()/2) + 2
+		if len(tr.Records) > wantRecords+5 {
+			t.Fatalf("raw %d has %d records, want ≈%d", i, len(tr.Records), wantRecords)
+		}
+	}
+}
+
+func TestPerturbedWeightDeterministicAndPositive(t *testing.T) {
+	w1 := perturbedWeight(42, 0.25)
+	w2 := perturbedWeight(42, 0.25)
+	w3 := perturbedWeight(43, 0.25)
+	g := netgen.Generate(netgen.PresetConfig(netgen.PresetTest))
+	diff := 0
+	for _, e := range g.Edges()[:50] {
+		a, b, c := w1(e), w2(e), w3(e)
+		if a <= 0 {
+			t.Fatalf("non-positive weight %v", a)
+		}
+		if a != b {
+			t.Fatal("same seed must give same weight")
+		}
+		if a != c {
+			diff++
+		}
+	}
+	if diff < 40 {
+		t.Fatalf("different trip seeds should perturb most edges, got %d/50", diff)
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	g := netgen.Generate(netgen.PresetConfig(netgen.PresetTest))
+	gen := New(g, traffic.NewModel(traffic.Config{}), Config{Seed: 9, NumTrips: 5})
+	if gen.cfg.Zones == 0 || gen.cfg.Days == 0 || gen.cfg.MaxEdges == 0 {
+		t.Fatalf("defaults not filled: %+v", gen.cfg)
+	}
+	res := gen.Generate()
+	if res.Collection.Len() != 5 {
+		t.Fatalf("trips = %d", res.Collection.Len())
+	}
+}

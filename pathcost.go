@@ -1,0 +1,273 @@
+// Package pathcost is the public API of the reproduction of Dai,
+// Yang, Guo, Jensen, Hu: "Path Cost Distribution Estimation Using
+// Trajectory Data" (PVLDB 10(3), 2016).
+//
+// It estimates the full probability distribution — not just the mean —
+// of the travel cost of any road-network path at a given departure
+// time, from historical trajectories. The core idea is the paper's
+// hybrid graph: weights are joint cost distributions attached to
+// *paths* (multi-dimensional histograms capturing inter-edge
+// dependence), and a query is answered by selecting the coarsest
+// decomposition of the query path into weighted sub-paths and
+// combining their joints via decomposable-model factorization.
+//
+// Typical use:
+//
+//	sys, err := pathcost.Synthesize(pathcost.SynthesizeConfig{
+//		Preset: "small", Trips: 20000, Seed: 1,
+//	})
+//	res, err := sys.PathDistribution(path, 8*3600, pathcost.OD)
+//	fmt.Println("P(≤ 10 min) =", res.Dist.ProbWithin(600))
+//
+// Real deployments would replace Synthesize with NewSystem over a road
+// network and map-matched trajectories (see internal/mapmatch for the
+// HMM matcher that turns raw GPS into such trajectories).
+package pathcost
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gps"
+	"repro/internal/graph"
+	"repro/internal/hist"
+	"repro/internal/netgen"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+	"repro/internal/trajgen"
+)
+
+// Re-exported types so callers need only this package for common use.
+type (
+	// Graph is a directed road network.
+	Graph = graph.Graph
+	// Path is a sequence of adjacent edge IDs.
+	Path = graph.Path
+	// EdgeID identifies a road segment.
+	EdgeID = graph.EdgeID
+	// VertexID identifies an intersection.
+	VertexID = graph.VertexID
+	// Histogram is a one-dimensional cost distribution.
+	Histogram = hist.Histogram
+	// Params are the hybrid-graph parameters (α, β, MaxRank, ...).
+	Params = core.Params
+	// Method selects an estimation strategy.
+	Method = core.Method
+	// Collection is an indexed set of map-matched trajectories.
+	Collection = gps.Collection
+	// Matched is one map-matched trajectory observation.
+	Matched = gps.Matched
+	// QueryResult is a cost-distribution query outcome.
+	QueryResult = core.QueryResult
+	// RouteResult is a stochastic routing outcome.
+	RouteResult = routing.Result
+)
+
+// Estimation methods (Section 5.2.2 of the paper).
+const (
+	// OD is the paper's proposal: the optimal (coarsest) decomposition.
+	OD = core.MethodOD
+	// RD uses a random decomposition.
+	RD = core.MethodRD
+	// HP uses pairwise joint distributions only.
+	HP = core.MethodHP
+	// LB is the legacy independent-edge convolution baseline.
+	LB = core.MethodLB
+)
+
+// Cost domains: travel time in seconds (default) or GHG emissions in
+// grams. Set Params.Domain before NewSystem/Synthesize.
+const (
+	DomainTime      = core.DomainTime
+	DomainEmissions = core.DomainEmissions
+)
+
+// DefaultParams returns the paper's defaults (α = 30 min, β = 30).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// System bundles a road network, a trajectory collection, the trained
+// hybrid graph and a stochastic router.
+type System struct {
+	Graph  *Graph
+	Data   *Collection
+	Hybrid *core.HybridGraph
+	Router *routing.Router
+	Params Params
+}
+
+// NewSystem trains a hybrid graph from an existing network and
+// trajectory collection — the entry point for real data.
+func NewSystem(g *Graph, data *Collection, params Params) (*System, error) {
+	h, err := core.Build(g, data, params)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Graph:  g,
+		Data:   data,
+		Hybrid: h,
+		Router: routing.New(h),
+		Params: params,
+	}, nil
+}
+
+// SynthesizeConfig configures the built-in city simulator, the
+// substitute for the paper's Aalborg/Beijing fleets.
+type SynthesizeConfig struct {
+	// Preset selects the network size: "test", "small", "aalborg",
+	// "beijing" (default "small").
+	Preset string
+	// Trips is the number of simulated trajectories (default 20000).
+	Trips int
+	// Seed makes the whole workload reproducible.
+	Seed int64
+	// Params for training; the zero value means DefaultParams.
+	Params Params
+	// WithEmissions also simulates GHG costs per edge.
+	WithEmissions bool
+	// Traffic overrides the traffic model calibration.
+	Traffic traffic.Config
+}
+
+// Synthesize generates a city network and trajectory workload, then
+// trains the hybrid graph on it.
+func Synthesize(cfg SynthesizeConfig) (*System, error) {
+	if cfg.Preset == "" {
+		cfg.Preset = "small"
+	}
+	if cfg.Trips == 0 {
+		cfg.Trips = 20000
+	}
+	if cfg.Params.AlphaMinutes == 0 {
+		cfg.Params = DefaultParams()
+	}
+	g := netgen.Generate(netgen.PresetConfig(netgen.Preset(cfg.Preset)))
+	gen := trajgen.New(g, traffic.NewModel(cfg.Traffic), trajgen.Config{
+		Seed:          cfg.Seed,
+		NumTrips:      cfg.Trips,
+		WithEmissions: cfg.WithEmissions,
+	})
+	res := gen.Generate()
+	return NewSystem(g, res.Collection, cfg.Params)
+}
+
+// PathDistribution estimates the cost distribution of a path at the
+// given departure time (seconds; time-of-day or absolute).
+func (s *System) PathDistribution(p Path, depart float64, m Method) (*QueryResult, error) {
+	return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+}
+
+// GroundTruth runs the accuracy-optimal baseline (Section 2.2) on the
+// system's trajectory data; it fails when fewer than β trajectories
+// qualify (the sparseness problem).
+func (s *System) GroundTruth(p Path, depart float64) (*Histogram, int, error) {
+	return core.GroundTruth(s.Data, p, depart, s.Params)
+}
+
+// Route answers a probabilistic budget query: the path from src to dst
+// maximizing P(travel time ≤ budget) when departing at depart.
+func (s *System) Route(src, dst VertexID, depart, budget float64, m Method) (*RouteResult, error) {
+	return s.Router.BestPath(routing.Query{
+		Source: src, Dest: dst, Depart: depart, Budget: budget,
+	}, routing.Options{Method: m, Incremental: true})
+}
+
+// DensePath is a query-path candidate backed by many trajectories.
+type DensePath struct {
+	Path     Path
+	Interval int // α-interval index of the arrivals
+	Count    int // trajectories traversing Path in Interval
+}
+
+// DensePaths scans the trajectory collection for paths of the given
+// cardinality with at least minCount traversals within a single
+// α-interval — the workload selector behind the paper's accuracy
+// experiments (Figures 4, 13, 14).
+func (s *System) DensePaths(cardinality, minCount int) []DensePath {
+	type key struct {
+		pk string
+		iv int
+	}
+	counts := make(map[key]int)
+	samples := make(map[key]Path)
+	for i := 0; i < s.Data.Len(); i++ {
+		m := s.Data.Traj(i)
+		if len(m.Path) < cardinality {
+			continue
+		}
+		for pos := 0; pos+cardinality <= len(m.Path); pos++ {
+			sub := m.Path[pos : pos+cardinality]
+			iv := s.Params.IntervalOf(m.ArrivalAt(pos))
+			k := key{pk: sub.Key(), iv: iv}
+			counts[k]++
+			if _, ok := samples[k]; !ok {
+				samples[k] = sub.Clone()
+			}
+		}
+	}
+	var out []DensePath
+	for k, c := range counts {
+		if c >= minCount {
+			out = append(out, DensePath{Path: samples[k], Interval: k.iv, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Path.Key() < out[j].Path.Key()
+	})
+	return out
+}
+
+// RandomQueryPath samples a simple path of exactly n edges by random
+// walk from a random populated edge; used to generate long query
+// workloads (Figures 15 and 16). rnd is any deterministic int source.
+func (s *System) RandomQueryPath(n int, rnd func(int) int) (Path, error) {
+	for attempt := 0; attempt < 200; attempt++ {
+		start := EdgeID(rnd(s.Graph.NumEdges()))
+		if p := s.Graph.RandomWalkPath(start, n, rnd); p != nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("pathcost: no %d-edge simple path found after 200 attempts", n)
+}
+
+// Stats returns the hybrid graph's build statistics (variable counts
+// by rank, coverage, storage).
+func (s *System) Stats() core.BuildStats { return s.Hybrid.Stats() }
+
+// SaveModel writes the trained hybrid graph to w; LoadSystem restores
+// it against the same road network. Training is the expensive step
+// (the paper reports minutes to 45 minutes on its fleets), so real
+// deployments train once and serve many queries.
+func (s *System) SaveModel(w io.Writer) error {
+	return s.Hybrid.WriteModel(w)
+}
+
+// LoadSystem restores a saved model against the road network it was
+// trained on. data may be nil; it is only needed by GroundTruth and
+// DensePaths.
+func LoadSystem(g *Graph, data *Collection, r io.Reader) (*System, error) {
+	h, err := core.ReadHybrid(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Graph:  g,
+		Data:   data,
+		Hybrid: h,
+		Router: routing.New(h),
+		Params: h.Params,
+	}, nil
+}
+
+// TopKRoutes answers the probabilistic top-k path query: the k best
+// paths by probability of arriving within the budget.
+func (s *System) TopKRoutes(src, dst VertexID, depart, budget float64, k int, m Method) ([]routing.TopKResult, error) {
+	return s.Router.TopKPaths(routing.Query{
+		Source: src, Dest: dst, Depart: depart, Budget: budget,
+	}, k, routing.Options{Method: m, Incremental: true})
+}

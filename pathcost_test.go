@@ -1,0 +1,242 @@
+package pathcost
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+var (
+	sysOnce sync.Once
+	sysInst *System
+	sysErr  error
+)
+
+// testSystem builds one shared small system for the API tests.
+func testSystem(t testing.TB) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		params := DefaultParams()
+		params.Beta = 20
+		params.MaxRank = 4
+		sysInst, sysErr = Synthesize(SynthesizeConfig{
+			Preset: "test", Trips: 4000, Seed: 3, Params: params,
+		})
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysInst
+}
+
+func TestSynthesizeAndStats(t *testing.T) {
+	s := testSystem(t)
+	if s.Graph.NumVertices() == 0 || s.Data.Len() != 4000 {
+		t.Fatalf("system malformed: %d vertices, %d trips", s.Graph.NumVertices(), s.Data.Len())
+	}
+	st := s.Stats()
+	if st.TotalVariables() == 0 {
+		t.Fatal("no variables instantiated")
+	}
+	if st.VariablesByRank[1] == 0 {
+		t.Fatal("no rank-2 variables: dependence cannot be captured")
+	}
+	if c := st.Coverage(); c <= 0 || c > 1 {
+		t.Fatalf("coverage = %v", c)
+	}
+}
+
+func TestPathDistributionAllMethods(t *testing.T) {
+	s := testSystem(t)
+	dense := s.DensePaths(5, 20)
+	if len(dense) == 0 {
+		t.Skip("no dense 5-edge paths in this workload")
+	}
+	dp := dense[0]
+	lo, _ := s.Params.IntervalBounds(dp.Interval)
+	for _, m := range []Method{OD, RD, HP, LB} {
+		res, err := s.PathDistribution(dp.Path, lo+60, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Dist.Mean() <= 0 {
+			t.Fatalf("%s: non-positive mean", m)
+		}
+		if math.Abs(res.Dist.CDF(math.Inf(1))-1) > 1e-9 {
+			t.Fatalf("%s: not a distribution", m)
+		}
+	}
+}
+
+func TestODBeatsLBOnDenseHeldOutPath(t *testing.T) {
+	// End-to-end accuracy check on the synthetic city: for dense paths
+	// with ground truth, OD must on average be at least as close to the
+	// truth as LB (Figure 14's ordering).
+	s := testSystem(t)
+	dense := s.DensePaths(6, 25)
+	if len(dense) < 3 {
+		t.Skip("not enough dense 6-edge paths")
+	}
+	var odBetter, total int
+	for _, dp := range dense {
+		if total >= 10 {
+			break
+		}
+		lo, _ := s.Params.IntervalBounds(dp.Interval)
+		depart := lo + 60
+		gt, _, err := s.GroundTruth(dp.Path, depart)
+		if err != nil {
+			continue
+		}
+		od, err1 := s.PathDistribution(dp.Path, depart, OD)
+		lb, err2 := s.PathDistribution(dp.Path, depart, LB)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		// Compare calibration at the quartiles of the ground truth.
+		var odErr, lbErr float64
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			x := gt.Quantile(q)
+			odErr += math.Abs(od.Dist.CDF(x) - q)
+			lbErr += math.Abs(lb.Dist.CDF(x) - q)
+		}
+		if odErr <= lbErr+1e-9 {
+			odBetter++
+		}
+		total++
+	}
+	if total == 0 {
+		t.Skip("no ground-truth paths available")
+	}
+	if odBetter*2 < total {
+		t.Fatalf("OD better on only %d/%d dense paths", odBetter, total)
+	}
+}
+
+func TestRouteFacade(t *testing.T) {
+	s := testSystem(t)
+	src := VertexID(5)
+	dists := s.Graph.ShortestDistances(src, graph.FreeFlowWeight)
+	var dst VertexID = -1
+	best := 0.0
+	for v, d := range dists {
+		if VertexID(v) != src && !math.IsInf(d, 1) && d > best && d < 300 {
+			best = d
+			dst = VertexID(v)
+		}
+	}
+	if dst < 0 {
+		t.Skip("no destination")
+	}
+	res, err := s.Route(src, dst, 8*3600, best*3, OD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Graph.ValidPath(res.Path) {
+		t.Fatal("invalid route")
+	}
+	if res.Prob <= 0 {
+		t.Fatalf("prob = %v", res.Prob)
+	}
+}
+
+func TestRandomQueryPath(t *testing.T) {
+	s := testSystem(t)
+	rnd := rand.New(rand.NewSource(9))
+	p, err := s.RandomQueryPath(8, rnd.Intn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 8 || !s.Graph.ValidPath(p) {
+		t.Fatalf("bad random path %v", p)
+	}
+	if _, err := s.RandomQueryPath(10_000, rnd.Intn); err == nil {
+		t.Fatal("impossible cardinality accepted")
+	}
+}
+
+func TestDensePathsOrderingAndThreshold(t *testing.T) {
+	s := testSystem(t)
+	dense := s.DensePaths(3, 25)
+	for i, dp := range dense {
+		if dp.Count < 25 {
+			t.Fatalf("entry %d below threshold: %d", i, dp.Count)
+		}
+		if i > 0 && dp.Count > dense[i-1].Count {
+			t.Fatal("not sorted by count")
+		}
+		if len(dp.Path) != 3 {
+			t.Fatalf("wrong cardinality %d", len(dp.Path))
+		}
+	}
+}
+
+func TestNewSystemRejectsBadParams(t *testing.T) {
+	s := testSystem(t)
+	bad := DefaultParams()
+	bad.AlphaMinutes = -1
+	if _, err := NewSystem(s.Graph, s.Data, bad); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	s := testSystem(t)
+	var buf bytes.Buffer
+	if err := s.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(s.Graph, nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().TotalVariables() != s.Stats().TotalVariables() {
+		t.Fatal("variable counts differ after load")
+	}
+	dense := s.DensePaths(4, 20)
+	if len(dense) == 0 {
+		t.Skip("no dense paths")
+	}
+	lo, _ := s.Params.IntervalBounds(dense[0].Interval)
+	a, err1 := s.PathDistribution(dense[0].Path, lo+60, OD)
+	b, err2 := loaded.PathDistribution(dense[0].Path, lo+60, OD)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(a.Dist.Mean()-b.Dist.Mean()) > 1e-9 {
+		t.Fatalf("loaded model answers differently: %v vs %v", a.Dist.Mean(), b.Dist.Mean())
+	}
+}
+
+func TestTopKRoutesFacade(t *testing.T) {
+	s := testSystem(t)
+	src := VertexID(5)
+	dists := s.Graph.ShortestDistances(src, graph.FreeFlowWeight)
+	var dst VertexID = -1
+	best := 0.0
+	for v, d := range dists {
+		if VertexID(v) != src && !math.IsInf(d, 1) && d > best && d < 300 {
+			best = d
+			dst = VertexID(v)
+		}
+	}
+	if dst < 0 {
+		t.Skip("no destination")
+	}
+	res, err := s.TopKRoutes(src, dst, 8*3600, best*2.5, 3, OD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Prob > res[i-1].Prob+1e-9 {
+			t.Fatal("not sorted")
+		}
+	}
+}

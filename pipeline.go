@@ -1,0 +1,71 @@
+package pathcost
+
+import (
+	"fmt"
+
+	"repro/internal/gps"
+	"repro/internal/mapmatch"
+)
+
+// Trajectory is a raw GPS trace (a time-ordered list of fixes) as it
+// arrives from vehicles, before map matching.
+type Trajectory = gps.Trajectory
+
+// Record is one GPS fix.
+type Record = gps.Record
+
+// MatcherConfig tunes the HMM map matcher; the zero value uses the
+// Newson–Krumm-style defaults.
+type MatcherConfig = mapmatch.Config
+
+// MatchStats summarizes a map-matching run.
+type MatchStats struct {
+	Matched int // trajectories successfully matched
+	Failed  int // trajectories with no consistent road alignment
+	Records int64
+}
+
+// MatchTrajectories runs the full ingestion pipeline of Section 2.1:
+// every raw GPS trace is aligned with a road-network path by the HMM
+// map matcher and converted into the (path, departure, per-edge cost)
+// observation the trainer consumes. Unmatchable traces are skipped and
+// counted rather than failing the batch — real fleets always contain
+// broken traces.
+func MatchTrajectories(g *Graph, raw []*Trajectory, cfg MatcherConfig) (*Collection, MatchStats, error) {
+	if len(raw) == 0 {
+		return nil, MatchStats{}, fmt.Errorf("pathcost: no trajectories to match")
+	}
+	m := mapmatch.New(g, cfg)
+	var matched []*Matched
+	var st MatchStats
+	for _, tr := range raw {
+		st.Records += int64(len(tr.Records))
+		timed, err := m.MatchToTimed(tr)
+		if err != nil {
+			st.Failed++
+			continue
+		}
+		if err := timed.Validate(g); err != nil {
+			st.Failed++
+			continue
+		}
+		matched = append(matched, timed)
+		st.Matched++
+	}
+	if len(matched) == 0 {
+		return nil, st, fmt.Errorf("pathcost: no trajectory could be matched")
+	}
+	return gps.NewCollection(matched, st.Records), st, nil
+}
+
+// SystemFromGPS builds a System directly from raw GPS traces: map
+// matching followed by hybrid-graph training. This is the full
+// paper pipeline for real-world data.
+func SystemFromGPS(g *Graph, raw []*Trajectory, mcfg MatcherConfig, params Params) (*System, MatchStats, error) {
+	data, st, err := MatchTrajectories(g, raw, mcfg)
+	if err != nil {
+		return nil, st, err
+	}
+	sys, err := NewSystem(g, data, params)
+	return sys, st, err
+}
