@@ -12,6 +12,7 @@
 // File-based workflows (see cmd/trajgen for producing the inputs):
 //
 //	pathcost -network net.txt -trajectories trips.txt -save-model model.txt demo
+//	pathcost -network net.txt -raw-gps raw.txt -workers 8 demo
 //	pathcost -network net.txt -model model.txt query
 package main
 
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	pathcost "repro"
@@ -39,8 +41,11 @@ func main() {
 	budgetMult := flag.Float64("budget-mult", 2.0, "routing budget as a multiple of free-flow time")
 	networkFile := flag.String("network", "", "load the road network from this file instead of generating one")
 	trajFile := flag.String("trajectories", "", "load matched trajectories from this file instead of simulating")
+	rawFile := flag.String("raw-gps", "", "load raw GPS traces from this file and map-match them (needs -network)")
 	modelFile := flag.String("model", "", "load a trained model instead of training")
 	saveModel := flag.String("save-model", "", "save the trained model to this file")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for map matching and training (≤1 = sequential)")
+	cacheSize := flag.Int("cache", 0, "query-distribution cache capacity in entries (0 = disabled)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -51,11 +56,16 @@ func main() {
 	params := pathcost.DefaultParams()
 	params.Beta = *beta
 	params.AlphaMinutes = *alpha
+	params.Workers = *workers
 
 	start := time.Now()
-	sys, err := buildSystem(*preset, *trips, *seed, params, *networkFile, *trajFile, *modelFile)
+	sys, err := buildSystem(*preset, *trips, *seed, params, *workers,
+		*networkFile, *trajFile, *rawFile, *modelFile)
 	if err != nil {
 		fatal(err)
+	}
+	if *cacheSize > 0 {
+		sys.EnableQueryCache(*cacheSize)
 	}
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)
@@ -91,12 +101,22 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown command %q (want demo, query, route or net-stats)", cmd))
 	}
+	if st, ok := sys.QueryCacheStats(); ok {
+		fmt.Printf("\nquery cache: %d/%d entries, %d hits, %d misses (%.0f%% hit rate), %d evictions\n",
+			st.Entries, st.Capacity, st.Hits, st.Misses, st.HitRate()*100, st.Evictions)
+	}
 }
 
 // buildSystem assembles the System from files or by synthesis.
-func buildSystem(preset string, trips int, seed int64, params pathcost.Params,
-	networkFile, trajFile, modelFile string) (*pathcost.System, error) {
+func buildSystem(preset string, trips int, seed int64, params pathcost.Params, workers int,
+	networkFile, trajFile, rawFile, modelFile string) (*pathcost.System, error) {
+	if trajFile != "" && rawFile != "" {
+		return nil, fmt.Errorf("-trajectories and -raw-gps are mutually exclusive")
+	}
 	if networkFile == "" {
+		if trajFile != "" || rawFile != "" || modelFile != "" {
+			return nil, fmt.Errorf("-trajectories, -raw-gps and -model require -network")
+		}
 		fmt.Printf("building %s city with %d trips (seed %d)...\n", preset, trips, seed)
 		return pathcost.Synthesize(pathcost.SynthesizeConfig{
 			Preset: preset, Trips: trips, Seed: seed, Params: params,
@@ -123,6 +143,27 @@ func buildSystem(preset string, trips int, seed int64, params pathcost.Params,
 			return nil, err
 		}
 	}
+	if rawFile != "" {
+		rf, err := os.Open(rawFile)
+		if err != nil {
+			return nil, err
+		}
+		defer rf.Close()
+		raw, err := gps.ReadRaw(rf)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("map matching %d raw traces from %s with %d workers...\n",
+			len(raw), rawFile, workers)
+		t0 := time.Now()
+		matched, st, err := pathcost.MatchTrajectories(g, raw, pathcost.MatcherConfig{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("matched %d/%d traces (%d records) in %v\n",
+			st.Matched, st.Matched+st.Failed, st.Records, time.Since(t0).Round(time.Millisecond))
+		data = matched
+	}
 	if modelFile != "" {
 		mf, err := os.Open(modelFile)
 		if err != nil {
@@ -133,9 +174,9 @@ func buildSystem(preset string, trips int, seed int64, params pathcost.Params,
 		return pathcost.LoadSystem(g, data, mf)
 	}
 	if data == nil {
-		return nil, fmt.Errorf("need -trajectories or -model with -network")
+		return nil, fmt.Errorf("need -trajectories, -raw-gps or -model with -network")
 	}
-	fmt.Printf("training on %d trajectories from %s...\n", data.Len(), trajFile)
+	fmt.Printf("training on %d trajectories with %d workers...\n", data.Len(), workers)
 	return pathcost.NewSystem(g, data, params)
 }
 

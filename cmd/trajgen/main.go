@@ -6,9 +6,12 @@
 //
 //	trajgen -preset small -trips 25000 -seed 11 \
 //	        -network net.txt -trajectories trips.txt [-emissions]
+//	trajgen -preset small -trips 25000 -raw raw.txt -gps-noise 5
 //
 // The network file loads with netgen.ReadGraph, the trajectory file
-// with gps.ReadCollection.
+// with gps.ReadCollection. With -raw, noisy unmatched GPS traces are
+// also written (loads with gps.ReadRaw) so the full map-matching
+// ingestion pipeline can be exercised from files.
 package main
 
 import (
@@ -30,7 +33,15 @@ func main() {
 	emissions := flag.Bool("emissions", false, "also simulate GHG costs")
 	netOut := flag.String("network", "network.txt", "output file for the road network")
 	trajOut := flag.String("trajectories", "trajectories.txt", "output file for the matched trajectories")
+	rawOut := flag.String("raw", "", "also write noisy raw GPS traces to this file")
+	gpsNoise := flag.Float64("gps-noise", 5, "GPS noise std dev in meters (with -raw)")
+	sampling := flag.Float64("sampling", 3, "GPS sampling interval in seconds (with -raw)")
 	flag.Parse()
+	if *rawOut != "" && (*gpsNoise <= 0 || *sampling <= 0) {
+		// trajgen.Config treats zero as "use the package default", so an
+		// explicit 0 would silently become 8 m / 5 s; reject it instead.
+		fatal(fmt.Errorf("-gps-noise and -sampling must be > 0 (got %g, %g)", *gpsNoise, *sampling))
+	}
 
 	start := time.Now()
 	g := netgen.Generate(netgen.PresetConfig(netgen.Preset(*preset)))
@@ -38,6 +49,7 @@ func main() {
 
 	gen := trajgen.New(g, traffic.NewModel(traffic.Config{}), trajgen.Config{
 		Seed: *seed, NumTrips: *trips, WithEmissions: *emissions,
+		EmitGPS: *rawOut != "", SamplingIntervalS: *sampling, GPSNoiseM: *gpsNoise,
 	})
 	res := gen.Generate()
 	fmt.Printf("workload: %d trajectories (~%d GPS records) in %v\n",
@@ -59,7 +71,20 @@ func main() {
 	if err := gps.WriteCollection(tf, res.Collection); err != nil {
 		fatal(err)
 	}
+	if *rawOut != "" {
+		rf, err := os.Create(*rawOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer rf.Close()
+		if err := gps.WriteRaw(rf, res.Raw); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("wrote %s and %s\n", *netOut, *trajOut)
+	if *rawOut != "" {
+		fmt.Printf("wrote %d raw GPS traces to %s\n", len(res.Raw), *rawOut)
+	}
 }
 
 func fatal(err error) {

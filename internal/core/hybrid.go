@@ -419,11 +419,25 @@ func (h *HybridGraph) VariablesOf(p graph.Path) []*Variable {
 	return out
 }
 
-// ForEachVariable visits every trajectory-backed variable.
+// ForEachVariable visits every trajectory-backed variable in a
+// deterministic order (path key, then interval), so that model
+// serialization is byte-stable across runs and across serial/parallel
+// builds of the same data.
 func (h *HybridGraph) ForEachVariable(fn func(*Variable)) {
-	for _, pv := range h.vars {
-		for _, v := range pv.byIv {
-			fn(v)
+	keys := make([]string, 0, len(h.vars))
+	for k := range h.vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pv := h.vars[k]
+		ivs := make([]int, 0, len(pv.byIv))
+		for iv := range pv.byIv {
+			ivs = append(ivs, iv)
+		}
+		sort.Ints(ivs)
+		for _, iv := range ivs {
+			fn(pv.byIv[iv])
 		}
 	}
 }

@@ -1,9 +1,3 @@
-// Package core implements the paper's contribution: the hybrid graph
-// G = (V, E, W_P) whose weight function assigns joint cost
-// distributions to paths (Section 3), the coarsest-decomposition query
-// machinery (Section 4, Algorithm 1, Theorems 1–4), and the estimator
-// family evaluated in Section 5 (OD, OD-x, RD, HP, LB, plus the
-// accuracy-optimal ground-truth baseline).
 package core
 
 import (

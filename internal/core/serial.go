@@ -68,7 +68,7 @@ func writeVariable(bw *bufio.Writer, v *Variable) error {
 	}
 	fmt.Fprintf(bw, "c %d\n", m.NumCells())
 	var err error
-	m.ForEach(func(k hist.CellKey, pr float64) {
+	m.ForEachSorted(func(k hist.CellKey, pr float64) {
 		if err != nil {
 			return
 		}

@@ -1,0 +1,75 @@
+package gps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	in := []*Trajectory{
+		{ID: 1, Records: []Record{
+			{Pt: pt(57.01, 9.92), Time: 100},
+			{Pt: pt(57.0112345, 9.9254321), Time: 103.5},
+			{Pt: pt(57.012, 9.93), Time: 109},
+		}},
+		{ID: 42, Records: []Record{
+			{Pt: pt(57.05, 9.95), Time: 8 * 3600},
+			{Pt: pt(57.051, 9.951), Time: 8*3600 + 3},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d traces, want %d", len(out), len(in))
+	}
+	for i, tr := range in {
+		got := out[i]
+		if got.ID != tr.ID || len(got.Records) != len(tr.Records) {
+			t.Fatalf("trace %d: %+v vs %+v", i, got, tr)
+		}
+		for j, rec := range tr.Records {
+			g := got.Records[j]
+			if abs(g.Pt.Lat-rec.Pt.Lat) > 1e-7 || abs(g.Pt.Lon-rec.Pt.Lon) > 1e-7 ||
+				abs(g.Time-rec.Time) > 1e-3 {
+				t.Fatalf("trace %d fix %d: %+v vs %+v", i, j, g, rec)
+			}
+		}
+	}
+}
+
+func TestReadRawRejectsBrokenInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "trajectories 1 2\n",
+		"bad count":      "rawgps two\n",
+		"short trace":    "rawgps 1\nR 1 57.0:9.9:0\n",
+		"bad fix":        "rawgps 1\nR 1 57.0:9.9:0 57.0:zzz:3\n",
+		"time disorder":  "rawgps 1\nR 1 57.0:9.9:5 57.1:9.9:3\n",
+		"count mismatch": "rawgps 2\nR 1 57.0:9.9:0 57.1:9.9:3\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadRaw(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func pt(lat, lon float64) geo.Point {
+	return geo.Point{Lat: lat, Lon: lon}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,24 @@
+// Package hist implements the distribution machinery of Dai et al.
+// (PVLDB 2016): the histogram representations that serve as the
+// hybrid graph's weights and the factor operations that combine them.
+//
+// Paper-section map:
+//
+//   - Section 3.1: one-dimensional V-Optimal histograms (voptimal.go)
+//     with automatic bucket-count selection by f-fold cross validation
+//     (auto.go, AutoHistogram); StaticHistogram is the Sta-b baseline
+//     of Figure 5.
+//   - Section 3.2: multi-dimensional histograms over hyper-buckets
+//     (multidim.go, Multi), stored sparsely as an occupied-cell map,
+//     including the factor operations — remapping onto union grids,
+//     marginalization, sum distributions — needed to evaluate the
+//     decomposable-model estimate of Equation 2.
+//   - Section 4.2: the bucket-rearrangement marginalization
+//     (Rearranged) and compression used when folding accumulated-cost
+//     dimensions.
+//
+// Histograms use uniform-within-bucket semantics throughout, exactly
+// as the paper's Figure 7 worked example assumes. Multi.ForEach
+// iterates in map order; consumers that need reproducible output
+// (e.g. model serialization) use Multi.ForEachSorted.
+package hist

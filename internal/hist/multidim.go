@@ -141,10 +141,33 @@ func (m *Multi) Cell(idx []int) float64 {
 	return m.cells[key]
 }
 
-// ForEach visits every occupied hyper-bucket.
+// ForEach visits every occupied hyper-bucket in map order; use
+// ForEachSorted when the visit order must be reproducible.
 func (m *Multi) ForEach(fn func(key CellKey, pr float64)) {
 	for k, v := range m.cells {
 		fn(k, v)
+	}
+}
+
+// ForEachSorted visits every occupied hyper-bucket in lexicographic
+// key order, so serialization and other order-sensitive consumers are
+// deterministic across runs.
+func (m *Multi) ForEachSorted(fn func(key CellKey, pr float64)) {
+	keys := make([]CellKey, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		for d := 0; d < MaxDims; d++ {
+			if a[d] != b[d] {
+				return a[d] < b[d]
+			}
+		}
+		return false
+	})
+	for _, k := range keys {
+		fn(k, m.cells[k])
 	}
 }
 

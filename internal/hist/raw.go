@@ -1,13 +1,3 @@
-// Package hist implements the distribution machinery of Dai et al.
-// (PVLDB 2016): raw cost distributions, one-dimensional V-Optimal
-// histograms with automatic bucket-count selection by f-fold cross
-// validation (Section 3.1), the bucket-rearrangement marginalization
-// of Section 4.2, and multi-dimensional histograms with hyper-buckets
-// (Section 3.2) including the factor operations needed to evaluate the
-// decomposable-model estimate of Equation 2.
-//
-// Histograms use uniform-within-bucket semantics throughout, exactly
-// as the paper's Figure 7 worked example assumes.
 package hist
 
 import (

@@ -1,11 +1,3 @@
-// Package mapmatch aligns raw GPS trajectories with road-network paths
-// using the hidden Markov model approach of Newson and Krumm
-// (SIGSPATIAL 2009), which the paper applies to its fleets [16]:
-// candidate road edges near each fix are HMM states, emission
-// probabilities are Gaussian in the perpendicular distance, transition
-// probabilities penalize the difference between the on-network route
-// length and the great-circle distance, and Viterbi decoding yields
-// the most likely edge sequence.
 package mapmatch
 
 import (
@@ -31,6 +23,10 @@ type Config struct {
 	// MaxRouteDistM bounds the Dijkstra expansion between consecutive
 	// fixes.
 	MaxRouteDistM float64
+	// Workers parallelizes batch ingestion (pathcost.MatchTrajectories)
+	// across a goroutine pool, one Matcher per worker; ≤ 1 matches
+	// sequentially. Results are identical either way.
+	Workers int
 }
 
 // DefaultConfig mirrors the Newson–Krumm calibration at urban scale.

@@ -1,13 +1,3 @@
-// Package routing implements the DFS-based stochastic routing
-// algorithm the paper integrates its estimator into (Section 4.3 and
-// Figure 18): a probabilistic budget query in the style of Hua and Pei
-// [10] that searches for the path maximizing the probability of
-// arriving within a travel-time budget, pruning candidates whose
-// optimistic arrival probability cannot beat the incumbent.
-//
-// The path-cost estimator is pluggable (OD / HP / LB — any core
-// method), which is exactly how the paper compares LB-DFS, HP-DFS and
-// OD-DFS.
 package routing
 
 import (

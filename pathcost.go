@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/gps"
 	"repro/internal/graph"
@@ -63,6 +65,8 @@ type (
 	QueryResult = core.QueryResult
 	// RouteResult is a stochastic routing outcome.
 	RouteResult = routing.Result
+	// CacheStats reports query-cache effectiveness (see EnableQueryCache).
+	CacheStats = cache.Stats
 )
 
 // Estimation methods (Section 5.2.2 of the paper).
@@ -95,6 +99,10 @@ type System struct {
 	Hybrid *core.HybridGraph
 	Router *routing.Router
 	Params Params
+
+	// qcache, when non-nil, memoizes PathDistribution results per
+	// (path, α-interval, method). See EnableQueryCache.
+	qcache *cache.LRU[*QueryResult]
 }
 
 // NewSystem trains a hybrid graph from an existing network and
@@ -153,10 +161,60 @@ func Synthesize(cfg SynthesizeConfig) (*System, error) {
 	return NewSystem(g, res.Collection, cfg.Params)
 }
 
+// EnableQueryCache puts a sharded LRU of at most capacity entries in
+// front of PathDistribution, keyed by (path signature, departure
+// α-interval, method). Cached answers are approximate in one
+// deliberate way: all departures falling in the same α-interval share
+// the distribution computed for the first of them, matching the
+// paper's premise that cost distributions are stationary within an
+// interval. Cached *QueryResult values are shared between callers and
+// must be treated as read-only. capacity ≤ 0 disables the cache.
+//
+// The cache fronts distribution queries only; Route and TopKRoutes
+// keep their own optimization (incremental chain-evaluation state
+// along the DFS) and do not consult it.
+func (s *System) EnableQueryCache(capacity int) {
+	if capacity <= 0 {
+		s.qcache = nil
+		return
+	}
+	s.qcache = cache.NewLRU[*QueryResult](capacity)
+}
+
+// QueryCacheStats snapshots the query cache's hit/miss/eviction
+// counters; ok is false when no cache is enabled.
+func (s *System) QueryCacheStats() (st CacheStats, ok bool) {
+	if s.qcache == nil {
+		return CacheStats{}, false
+	}
+	return s.qcache.Stats(), true
+}
+
+// queryKey is the cache identity of a distribution query: the path's
+// canonical signature plus the departure α-interval and the method.
+func (s *System) queryKey(p Path, depart float64, m Method) string {
+	return p.Key() + "@" + strconv.Itoa(s.Params.IntervalOf(depart)) + "/" + string(m)
+}
+
 // PathDistribution estimates the cost distribution of a path at the
-// given departure time (seconds; time-of-day or absolute).
+// given departure time (seconds; time-of-day or absolute). When a
+// query cache is enabled (EnableQueryCache), repeated queries for the
+// same (path, α-interval, method) are served from memory; the returned
+// result is then shared and must not be mutated.
 func (s *System) PathDistribution(p Path, depart float64, m Method) (*QueryResult, error) {
-	return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+	if s.qcache == nil {
+		return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+	}
+	key := s.queryKey(p, depart, m)
+	if res, ok := s.qcache.Get(key); ok {
+		return res, nil
+	}
+	res, err := s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+	if err != nil {
+		return nil, err
+	}
+	s.qcache.Put(key, res)
+	return res, nil
 }
 
 // GroundTruth runs the accuracy-optimal baseline (Section 2.2) on the
