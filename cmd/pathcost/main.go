@@ -14,6 +14,12 @@
 //	pathcost -network net.txt -trajectories trips.txt -save-model model.txt demo
 //	pathcost -network net.txt -raw-gps raw.txt -workers 8 demo
 //	pathcost -network net.txt -model model.txt query
+//
+// pathcost is the one-shot/training face; to keep a trained model
+// resident and answer queries over HTTP, hand its -save-model output
+// to the serving daemon (see cmd/pathcostd):
+//
+//	pathcostd -network net.txt -model model.txt -addr :8080
 package main
 
 import (

@@ -1,0 +1,142 @@
+// Command pathcostd is the serving daemon: it loads (or synthesizes)
+// a trained hybrid-graph model once and answers path cost-distribution
+// and stochastic routing queries over an HTTP JSON API — the
+// train-once/serve-many deployment shape the paper's economics imply.
+//
+// Serve a synthesized city (no files needed):
+//
+//	pathcostd -preset small -trips 20000 -addr :8080
+//
+// Serve a trained model (see cmd/pathcost -save-model):
+//
+//	pathcostd -network net.txt -model model.txt -addr :8080
+//
+// Query it:
+//
+//	curl -s localhost:8080/v1/distribution \
+//	  -d '{"path":[12,13,14],"depart":28800,"method":"OD","budget":600}'
+//	curl -s localhost:8080/v1/route \
+//	  -d '{"source":3,"dest":41,"depart":28800,"budget":900}'
+//	curl -s localhost:8080/v1/stats
+//
+// Signals: SIGHUP re-reads -model from disk and hot-swaps it without
+// dropping requests (ignored in synthesized mode); SIGINT/SIGTERM
+// drain in-flight requests and exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	pathcost "repro"
+	"repro/internal/netgen"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	preset := flag.String("preset", "small", "network preset when synthesizing: test, small, aalborg, beijing")
+	trips := flag.Int("trips", 20000, "simulated trajectories when synthesizing")
+	seed := flag.Int64("seed", 1, "workload seed when synthesizing")
+	beta := flag.Int("beta", 30, "qualified-trajectory threshold β (synthesized training)")
+	alpha := flag.Int("alpha", 30, "interval granularity α in minutes (synthesized training)")
+	networkFile := flag.String("network", "", "road-network file (required with -model)")
+	modelFile := flag.String("model", "", "trained model file to serve (requires -network)")
+	cacheSize := flag.Int("cache", 4096, "query-distribution cache capacity in entries (0 = disabled); cached answers are shared per departure α-interval")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluated queries (0 = default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "pathcostd: ", log.LstdFlags)
+
+	sys, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *cacheSize > 0 {
+		sys.EnableQueryCache(*cacheSize)
+	}
+	st := sys.Stats()
+	logger.Printf("serving %d vertices / %d edges, %d variables, coverage %.1f%% on %s",
+		sys.Graph.NumVertices(), sys.Graph.NumEdges(), st.TotalVariables(), st.Coverage()*100, *addr)
+
+	srv := server.New(sys, server.Config{MaxInFlight: *maxInFlight})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *modelFile == "" {
+				logger.Printf("SIGHUP ignored: serving a synthesized model (no -model file to reload)")
+				continue
+			}
+			next, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, logger)
+			if err != nil {
+				logger.Printf("SIGHUP reload failed, keeping current model: %v", err)
+				continue
+			}
+			if *cacheSize > 0 {
+				next.EnableQueryCache(*cacheSize)
+			}
+			srv.Swap(next)
+			logger.Printf("SIGHUP: reloaded model from %s (%d variables)",
+				*modelFile, next.Stats().TotalVariables())
+		}
+	}()
+
+	if err := srv.Run(ctx, *addr, *drain); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained and stopped")
+}
+
+// buildSystem loads network+model from files, or synthesizes a city
+// and trains on it.
+func buildSystem(preset string, trips int, seed int64, beta, alpha int,
+	networkFile, modelFile string, logger *log.Logger) (*pathcost.System, error) {
+	if modelFile != "" && networkFile == "" {
+		return nil, fmt.Errorf("-model requires -network")
+	}
+	if networkFile != "" && modelFile == "" {
+		return nil, fmt.Errorf("-network requires -model (train with cmd/pathcost -save-model first)")
+	}
+	if modelFile == "" {
+		params := pathcost.DefaultParams()
+		params.Beta = beta
+		params.AlphaMinutes = alpha
+		logger.Printf("synthesizing %s city with %d trips (seed %d) and training...", preset, trips, seed)
+		t0 := time.Now()
+		sys, err := pathcost.Synthesize(pathcost.SynthesizeConfig{
+			Preset: preset, Trips: trips, Seed: seed, Params: params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		logger.Printf("trained in %v", time.Since(t0).Round(time.Millisecond))
+		return sys, nil
+	}
+	nf, err := os.Open(networkFile)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	g, err := netgen.ReadGraph(nf)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(modelFile)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	return pathcost.LoadSystem(g, nil, mf)
+}

@@ -126,6 +126,22 @@ func (c *LRU[V]) Get(key string) (V, bool) {
 	return v, true
 }
 
+// Peek returns the cached value for key without updating recency or
+// the hit/miss counters. It backs internal re-checks — e.g. a
+// singleflight leader's second look after winning the key — where the
+// caller already recorded the logical lookup via Get and counting
+// again would double-book it.
+func (c *LRU[V]) Peek(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Put inserts or refreshes key, evicting the shard's least recently
 // used entry when the shard is full.
 func (c *LRU[V]) Put(key string, val V) {

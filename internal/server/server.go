@@ -1,0 +1,605 @@
+// Package server exposes a trained pathcost.System over an HTTP JSON
+// API — the serving half of the paper's train-once/serve-many
+// economics (training takes minutes to ~45 minutes on the paper's
+// fleets; a query takes milliseconds). The API surface:
+//
+//	POST /v1/distribution  — path cost-distribution query
+//	POST /v1/route         — probabilistic budget routing
+//	POST /v1/topk          — top-k paths by on-time probability
+//	GET  /v1/stats         — model, cache and serving counters
+//	GET  /healthz          — liveness
+//
+// The handler is safe for arbitrary client concurrency: query
+// evaluation is bounded by a semaphore (Config.MaxInFlight) so a
+// traffic spike degrades into queueing rather than into unbounded
+// goroutine and memory growth, and the underlying System is swappable
+// at runtime (Swap) for zero-downtime model reloads.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	pathcost "repro"
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/hist"
+)
+
+// DefaultMaxInFlight bounds concurrently evaluated queries when
+// Config.MaxInFlight is 0. Query evaluation is CPU-bound, so a small
+// multiple of typical core counts is plenty; excess requests queue.
+const DefaultMaxInFlight = 32
+
+// Config tunes a Server.
+type Config struct {
+	// MaxInFlight caps concurrently evaluated queries. Requests
+	// beyond the cap wait for a slot or for the client to give up.
+	// Route and topk requests each hold a slot for their whole
+	// evaluation; distribution requests are charged per underlying
+	// computation, so cache hits and singleflight followers are free.
+	// 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxTopK caps the k accepted by /v1/topk (0 = 32).
+	MaxTopK int
+	// MaxPathEdges caps the path cardinality accepted by
+	// /v1/distribution (0 = 256). Evaluation cost grows with path
+	// length, so an uncapped path would let a few maximal requests
+	// monopolize the MaxInFlight evaluation slots.
+	MaxPathEdges int
+}
+
+// Server serves one pathcost.System over HTTP. Create with New, mount
+// via Handler. All methods are safe for concurrent use.
+type Server struct {
+	sys   atomic.Pointer[pathcost.System]
+	sem   chan struct{}
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	served    atomic.Uint64 // requests answered 2xx
+	rejected  atomic.Uint64 // requests answered 4xx/5xx
+	abandoned atomic.Uint64 // clients that disconnected while queued for a slot
+	reloads   atomic.Uint64 // Swap calls
+}
+
+// New builds a Server around sys.
+func New(sys *pathcost.System, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxTopK <= 0 {
+		cfg.MaxTopK = 32
+	}
+	if cfg.MaxPathEdges <= 0 {
+		cfg.MaxPathEdges = 256
+	}
+	s := &Server{
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.sys.Store(sys)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/distribution", s.handleDistribution)
+	s.mux.HandleFunc("/v1/route", s.handleRoute)
+	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler tree (also usable with httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// System returns the currently served system.
+func (s *Server) System() *pathcost.System { return s.sys.Load() }
+
+// Swap atomically replaces the served system and returns the previous
+// one — the hot-reload primitive behind pathcostd's SIGHUP handling.
+// In-flight queries finish against the system they started with; new
+// requests see next. The swapped-in system keeps its own query-cache
+// configuration (a fresh System starts uncached; enable its cache
+// before swapping it in).
+func (s *Server) Swap(next *pathcost.System) *pathcost.System {
+	s.reloads.Add(1)
+	return s.sys.Swap(next)
+}
+
+// Run serves the handler on addr until ctx is cancelled, then drains
+// in-flight requests for up to drain before forcing connections
+// closed (graceful shutdown). drain == 0 skips draining and closes
+// immediately; drain < 0 means the 10-second default. Run returns
+// nil after a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) error {
+	if drain < 0 {
+		drain = 10 * time.Second
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		var err error
+		if drain == 0 {
+			err = srv.Close()
+		} else {
+			sctx, cancel := context.WithTimeout(context.Background(), drain)
+			defer cancel()
+			err = srv.Shutdown(sctx)
+			if errors.Is(err, context.DeadlineExceeded) {
+				// Drain window elapsed with requests still running:
+				// force the remaining connections closed, as
+				// promised. That is still an orderly stop.
+				err = srv.Close()
+			}
+		}
+		// Shutdown/Close make ListenAndServe return, so this cannot
+		// block; surface a real serve failure (e.g. a bind error that
+		// raced the signal) instead of swallowing it.
+		if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			return serr
+		}
+		return err
+	}
+}
+
+// acquire takes a query-evaluation slot, giving up when the client
+// disconnects first. It reports whether the slot was obtained; the
+// caller must release() exactly once when it was.
+func (s *Server) acquire(r *http.Request) bool {
+	if r.Context().Err() != nil {
+		// Already-dead client: don't let select's random choice burn
+		// a slot on an evaluation nobody will receive.
+		s.abandoned.Add(1)
+		return false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// Nothing will be written for this request; count it so
+		// /v1/stats still shows traffic shed under saturation.
+		s.abandoned.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// --- JSON shapes -----------------------------------------------------
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// bucketJSON is one histogram bucket: P(cost ∈ [Lo, Hi)) = Pr.
+type bucketJSON struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	Pr float64 `json:"pr"`
+}
+
+// distributionRequest asks for the cost distribution of a path.
+type distributionRequest struct {
+	// Path is the sequence of adjacent edge IDs to evaluate.
+	Path []int64 `json:"path"`
+	// Depart is the departure time in seconds (time-of-day or absolute).
+	Depart float64 `json:"depart"`
+	// Method is one of OD (default), RD, HP, LB.
+	Method string `json:"method,omitempty"`
+	// Budget, when > 0, adds prob_within = P(cost ≤ Budget).
+	Budget float64 `json:"budget,omitempty"`
+}
+
+type distributionResponse struct {
+	Method      string       `json:"method"`
+	Interval    int          `json:"interval"` // departure α-interval index
+	MeanS       float64      `json:"mean_s"`
+	P10S        float64      `json:"p10_s"`
+	P50S        float64      `json:"p50_s"`
+	P90S        float64      `json:"p90_s"`
+	ProbWithin  *float64     `json:"prob_within,omitempty"`
+	Buckets     []bucketJSON `json:"buckets"`
+	DecompPaths int          `json:"decomp_paths"`
+	MaxRank     int          `json:"max_rank"`
+	// EvalUS is the cost of the underlying evaluation that produced
+	// this answer — for cache hits and stampede followers that is a
+	// prior request's computation, not work done by this request.
+	EvalUS int64 `json:"eval_us"`
+}
+
+type routeRequest struct {
+	Source int64   `json:"source"`
+	Dest   int64   `json:"dest"`
+	Depart float64 `json:"depart"`
+	Budget float64 `json:"budget"`
+	Method string  `json:"method,omitempty"`
+}
+
+type routeResponse struct {
+	Path     []int64 `json:"path"`
+	Prob     float64 `json:"prob"`
+	MeanS    float64 `json:"mean_s"`
+	Explored int     `json:"explored"`
+	Pruned   int     `json:"pruned"`
+	EvalUS   int64   `json:"eval_us"`
+}
+
+type topkRequest struct {
+	routeRequest
+	K int `json:"k"`
+}
+
+type topkEntry struct {
+	Path  []int64 `json:"path"`
+	Prob  float64 `json:"prob"`
+	MeanS float64 `json:"mean_s"`
+}
+
+type topkResponse struct {
+	Routes []topkEntry `json:"routes"`
+}
+
+type statsResponse struct {
+	Vertices        int     `json:"vertices"`
+	Edges           int     `json:"edges"`
+	Variables       int     `json:"variables"`
+	VariablesByRank []int   `json:"variables_by_rank"`
+	Coverage        float64 `json:"coverage"`
+	AlphaMinutes    int     `json:"alpha_minutes"`
+	Beta            int     `json:"beta"`
+
+	Cache *cacheStatsJSON `json:"cache,omitempty"`
+
+	UptimeS     float64 `json:"uptime_s"`
+	Served      uint64  `json:"served"`
+	Rejected    uint64  `json:"rejected"`
+	Abandoned   uint64  `json:"abandoned"`
+	Reloads     uint64  `json:"reloads"`
+	MaxInFlight int     `json:"max_in_flight"`
+}
+
+type cacheStatsJSON struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// --- validation helpers ----------------------------------------------
+
+// parseMethod validates the method name; empty selects OD.
+func parseMethod(name string) (pathcost.Method, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "", "OD":
+		return pathcost.OD, nil
+	case "RD":
+		return pathcost.RD, nil
+	case "HP":
+		return pathcost.HP, nil
+	case "LB":
+		return pathcost.LB, nil
+	}
+	return "", fmt.Errorf("unknown method %q (want OD, RD, HP or LB)", name)
+}
+
+// parsePath validates the edge sequence against the served graph.
+func parsePath(g *pathcost.Graph, ids []int64, maxEdges int) (pathcost.Path, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("path must contain at least one edge id")
+	}
+	if len(ids) > maxEdges {
+		return nil, fmt.Errorf("path has %d edges, cap is %d", len(ids), maxEdges)
+	}
+	p := make(pathcost.Path, len(ids))
+	for i, id := range ids {
+		if id < 0 || int(id) >= g.NumEdges() {
+			return nil, fmt.Errorf("edge id %d out of range [0, %d)", id, g.NumEdges())
+		}
+		p[i] = pathcost.EdgeID(id)
+	}
+	if !g.ValidPath(p) {
+		return nil, errors.New("edge sequence is not a connected simple path in the served network")
+	}
+	return p, nil
+}
+
+func checkVertex(g *pathcost.Graph, name string, v int64) error {
+	if v < 0 || int(v) >= g.NumVertices() {
+		return fmt.Errorf("%s vertex %d out of range [0, %d)", name, v, g.NumVertices())
+	}
+	return nil
+}
+
+func checkDepart(depart float64) error {
+	if depart < 0 {
+		return fmt.Errorf("depart %v must be ≥ 0 seconds", depart)
+	}
+	return nil
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.writeJSONUncounted(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
+	var req distributionRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	sys := s.System()
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := checkDepart(req.Depart); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Budget < 0 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("budget %v must be ≥ 0 seconds (0 or omitted skips prob_within)", req.Budget))
+		return
+	}
+	p, err := parsePath(sys.Graph, req.Path, s.cfg.MaxPathEdges)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The in-flight bound is charged per underlying computation, not
+	// per request: cache hits and singleflight followers (requests
+	// answered by a concurrent leader's work) bypass the semaphore,
+	// so a hot-key stampede cannot starve unrelated queries. An
+	// ErrGateRejected here is always this request's own — followers
+	// who inherit a leader's rejection retry inside
+	// PathDistributionGated until their own acquire decides. The
+	// request context unparks this handler if its client disconnects
+	// while waiting behind another request's computation.
+	res, err := sys.PathDistributionGated(r.Context(), p, req.Depart, m,
+		func() bool { return s.acquire(r) }, s.release)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	resp := distributionResponse{
+		Method:      string(m),
+		Interval:    sys.Params.IntervalOf(req.Depart),
+		MeanS:       res.Dist.Mean(),
+		P10S:        res.Dist.Quantile(0.1),
+		P50S:        res.Dist.Quantile(0.5),
+		P90S:        res.Dist.Quantile(0.9),
+		Buckets:     bucketsJSON(res.Dist.Buckets()),
+		DecompPaths: res.Decomp.Cardinality(),
+		MaxRank:     res.Decomp.MaxRank(),
+		EvalUS:      res.Timing.Total().Microseconds(),
+	}
+	if req.Budget > 0 {
+		pw := res.Dist.ProbWithin(req.Budget)
+		resp.ProbWithin = &pw
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req routeRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	sys := s.System()
+	m, err := s.validateRoute(w, sys.Graph, &req)
+	if err != nil {
+		return
+	}
+	if !s.acquire(r) {
+		return
+	}
+	defer s.release() // deferred: a panicking evaluation must not leak the slot
+	res, err := sys.Route(pathcost.VertexID(req.Source), pathcost.VertexID(req.Dest),
+		req.Depart, req.Budget, m)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, routeResponse{
+		Path:     edgeIDs(res.Path),
+		Prob:     res.Prob,
+		MeanS:    res.Dist.Mean(),
+		Explored: res.Explored,
+		Pruned:   res.Pruned,
+		EvalUS:   res.Elapsed.Microseconds(),
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	sys := s.System()
+	m, err := s.validateRoute(w, sys.Graph, &req.routeRequest)
+	if err != nil {
+		return
+	}
+	if req.K < 1 || req.K > s.cfg.MaxTopK {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("k = %d out of range [1, %d]", req.K, s.cfg.MaxTopK))
+		return
+	}
+	if !s.acquire(r) {
+		return
+	}
+	defer s.release() // deferred: a panicking evaluation must not leak the slot
+	res, err := sys.TopKRoutes(pathcost.VertexID(req.Source), pathcost.VertexID(req.Dest),
+		req.Depart, req.Budget, req.K, m)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	out := topkResponse{Routes: make([]topkEntry, 0, len(res))}
+	for _, r := range res {
+		out.Routes = append(out.Routes, topkEntry{
+			Path: edgeIDs(r.Path), Prob: r.Prob, MeanS: r.Dist.Mean(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	sys := s.System()
+	st := sys.Stats()
+	resp := statsResponse{
+		Vertices:        sys.Graph.NumVertices(),
+		Edges:           sys.Graph.NumEdges(),
+		Variables:       st.TotalVariables(),
+		VariablesByRank: st.VariablesByRank,
+		Coverage:        st.Coverage(),
+		AlphaMinutes:    sys.Params.AlphaMinutes,
+		Beta:            sys.Params.Beta,
+		UptimeS:         time.Since(s.start).Seconds(),
+		Served:          s.served.Load(),
+		Rejected:        s.rejected.Load(),
+		Abandoned:       s.abandoned.Load(),
+		Reloads:         s.reloads.Load(),
+		MaxInFlight:     s.cfg.MaxInFlight,
+	}
+	if cst, ok := sys.QueryCacheStats(); ok {
+		resp.Cache = &cacheStatsJSON{
+			Hits: cst.Hits, Misses: cst.Misses, Evictions: cst.Evictions,
+			Entries: cst.Entries, Capacity: cst.Capacity, HitRate: cst.HitRate(),
+		}
+	}
+	s.writeJSONUncounted(w, http.StatusOK, resp)
+}
+
+// validateRoute shares the routing-request checks between /v1/route
+// and /v1/topk; on failure it has already written the 400.
+func (s *Server) validateRoute(w http.ResponseWriter, g *pathcost.Graph, req *routeRequest) (pathcost.Method, error) {
+	m, err := parseMethod(req.Method)
+	if err == nil {
+		err = checkDepart(req.Depart)
+	}
+	if err == nil {
+		err = checkVertex(g, "source", req.Source)
+	}
+	if err == nil {
+		err = checkVertex(g, "dest", req.Dest)
+	}
+	if err == nil && req.Source == req.Dest {
+		err = errors.New("source and dest must differ")
+	}
+	if err == nil && req.Budget <= 0 {
+		err = fmt.Errorf("budget %v must be > 0 seconds", req.Budget)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return "", err
+	}
+	return m, nil
+}
+
+// readRequest decodes a JSON POST body, rejecting anything else.
+func (s *Server) readRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeJSON answers a query and counts it toward served; probe-style
+// endpoints (/healthz, /v1/stats) use writeJSONUncounted so liveness
+// checks and metric pollers don't inflate the query-throughput stat.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	s.writeJSONUncounted(w, code, v)
+	s.served.Add(1)
+}
+
+func (s *Server) writeJSONUncounted(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeQueryError maps an evaluation failure to the right status:
+// a gate rejection means this request's own client vanished while
+// queued (nothing to write — PathDistributionGated already retries
+// rejections inherited from another request's leader, so the 503 arm
+// is a safety net); a leader panic shared by singleflight is a server
+// fault (500, details withheld); anything else is a
+// valid-but-unanswerable query (422, e.g. sparse coverage or an
+// unreachable destination).
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// A follower unparked by its own dead request context; the
+		// semaphore was never touched, so account the shed load here.
+		s.abandoned.Add(1)
+		return
+	case errors.Is(err, pathcost.ErrGateRejected):
+		if r.Context().Err() != nil {
+			return // our own client is gone; no one is listening
+		}
+		s.writeError(w, http.StatusServiceUnavailable, "computation aborted, retry")
+	case errors.Is(err, cache.ErrLeaderPanic):
+		s.writeError(w, http.StatusInternalServerError, "internal error during computation")
+	default:
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	s.rejected.Add(1)
+}
+
+func bucketsJSON(bs []hist.Bucket) []bucketJSON {
+	out := make([]bucketJSON, len(bs))
+	for i, b := range bs {
+		out[i] = bucketJSON{Lo: b.Lo, Hi: b.Hi, Pr: b.Pr}
+	}
+	return out
+}
+
+func edgeIDs(p graph.Path) []int64 {
+	out := make([]int64, len(p))
+	for i, e := range p {
+		out[i] = int64(e)
+	}
+	return out
+}

@@ -25,10 +25,13 @@
 package pathcost
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -93,6 +96,14 @@ func DefaultParams() Params { return core.DefaultParams() }
 
 // System bundles a road network, a trajectory collection, the trained
 // hybrid graph and a stochastic router.
+//
+// A System is safe for concurrent use: any number of goroutines may
+// run PathDistribution, Route, TopKRoutes, GroundTruth and
+// QueryCacheStats simultaneously, and EnableQueryCache may be called
+// while queries are in flight. The exported fields are treated as
+// immutable after construction; to serve a newly trained model, build
+// a new System and swap the pointer (see internal/server.Server.Swap)
+// rather than mutating Hybrid or Router in place.
 type System struct {
 	Graph  *Graph
 	Data   *Collection
@@ -101,8 +112,19 @@ type System struct {
 	Params Params
 
 	// qcache, when non-nil, memoizes PathDistribution results per
-	// (path, α-interval, method). See EnableQueryCache.
-	qcache *cache.LRU[*QueryResult]
+	// (path, α-interval, method). It is an atomic pointer so
+	// EnableQueryCache can install, resize or remove the cache while
+	// queries are running. See EnableQueryCache.
+	qcache atomic.Pointer[cache.LRU[*QueryResult]]
+
+	// flight collapses concurrent PathDistribution misses on one key
+	// into a single CostDistribution computation (anti-stampede).
+	flight cache.Flight[*QueryResult]
+
+	// computeProbe, when non-nil, is invoked once per underlying
+	// CostDistribution computation in PathDistribution. Test seam for
+	// the singleflight guarantee; never set it outside tests.
+	computeProbe func()
 }
 
 // NewSystem trains a hybrid graph from an existing network and
@@ -170,24 +192,30 @@ func Synthesize(cfg SynthesizeConfig) (*System, error) {
 // interval. Cached *QueryResult values are shared between callers and
 // must be treated as read-only. capacity ≤ 0 disables the cache.
 //
+// EnableQueryCache is safe to call while queries are in flight: the
+// cache pointer is swapped atomically, in-flight queries finish
+// against whichever cache they started with, and calling it again
+// (any capacity) starts from an empty cache with fresh counters.
+//
 // The cache fronts distribution queries only; Route and TopKRoutes
 // keep their own optimization (incremental chain-evaluation state
 // along the DFS) and do not consult it.
 func (s *System) EnableQueryCache(capacity int) {
 	if capacity <= 0 {
-		s.qcache = nil
+		s.qcache.Store(nil)
 		return
 	}
-	s.qcache = cache.NewLRU[*QueryResult](capacity)
+	s.qcache.Store(cache.NewLRU[*QueryResult](capacity))
 }
 
 // QueryCacheStats snapshots the query cache's hit/miss/eviction
 // counters; ok is false when no cache is enabled.
 func (s *System) QueryCacheStats() (st CacheStats, ok bool) {
-	if s.qcache == nil {
+	c := s.qcache.Load()
+	if c == nil {
 		return CacheStats{}, false
 	}
-	return s.qcache.Stats(), true
+	return c.Stats(), true
 }
 
 // queryKey is the cache identity of a distribution query: the path's
@@ -199,22 +227,115 @@ func (s *System) queryKey(p Path, depart float64, m Method) string {
 // PathDistribution estimates the cost distribution of a path at the
 // given departure time (seconds; time-of-day or absolute). When a
 // query cache is enabled (EnableQueryCache), repeated queries for the
-// same (path, α-interval, method) are served from memory; the returned
-// result is then shared and must not be mutated.
+// same (path, α-interval, method) are served from memory, and
+// concurrent misses on one key are collapsed into a single underlying
+// computation (no cache stampede); the returned result is then shared
+// between callers and must not be mutated.
 func (s *System) PathDistribution(p Path, depart float64, m Method) (*QueryResult, error) {
-	if s.qcache == nil {
-		return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+	return s.PathDistributionGated(context.Background(), p, depart, m, nil, nil)
+}
+
+// ErrGateRejected is returned by PathDistributionGated when the
+// caller's acquire hook refuses the computation slot.
+var ErrGateRejected = errors.New("pathcost: computation gate rejected the query")
+
+// PathDistributionGated is PathDistribution with a concurrency gate
+// charged only for real work: acquire runs immediately before an
+// actual underlying CostDistribution computation, and release runs
+// after it. Cache hits and singleflight followers (callers whose
+// answer is produced by a concurrent leader) never touch the gate, so
+// a bound implemented with it tracks CPU-bound computations rather
+// than parked requests. acquire returning false aborts the query with
+// ErrGateRejected — and only the caller's own acquire can reject it:
+// a follower that inherits a leader's rejection through the flight
+// silently retries until its own hook decides. Either hook may be
+// nil: a nil acquire disables gating entirely, a nil release just
+// skips the post-computation call.
+//
+// ctx cancels *waiting*, not computing: a caller parked behind a
+// concurrent leader's computation unblocks when ctx ends and gets
+// ctx's error, while the leader's computation continues and still
+// fills the cache. A caller that is itself the leader runs to
+// completion (bound leader-side work with the acquire hook instead).
+// A nil ctx means context.Background.
+func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float64, m Method,
+	acquire func() bool, release func()) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	key := s.queryKey(p, depart, m)
-	if res, ok := s.qcache.Get(key); ok {
-		return res, nil
+	if m == "" {
+		// Normalize before keying: core defaults "" to OD, so both
+		// spellings are one logical query and must share one cache
+		// and flight entry.
+		m = OD
 	}
-	res, err := s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
-	if err != nil {
-		return nil, err
+	gated := func() (*QueryResult, error) {
+		if acquire != nil {
+			if !acquire() {
+				return nil, ErrGateRejected
+			}
+			if release != nil {
+				defer release()
+			}
+		}
+		return s.compute(p, depart, m)
 	}
-	s.qcache.Put(key, res)
-	return res, nil
+	counted := false
+	for {
+		c := s.qcache.Load()
+		if c == nil {
+			// Uncached queries stay independent on purpose: each caller
+			// owns its result and may post-process it freely.
+			return gated()
+		}
+		key := s.queryKey(p, depart, m)
+		// One logical query counts one hit or miss, however many
+		// retry iterations it takes: only the first lookup uses the
+		// stat-counting Get.
+		var res *QueryResult
+		var ok bool
+		if counted {
+			res, ok = c.Peek(key)
+		} else {
+			res, ok = c.Get(key)
+			counted = true
+		}
+		if ok {
+			return res, nil
+		}
+		res, shared, err := s.flight.DoCtx(ctx, key, func() (*QueryResult, error) {
+			// Re-check: a previous flight may have filled the cache
+			// between this caller's miss and it becoming the leader.
+			// Peek, not Get — the outer Get already counted this lookup.
+			if res, ok := c.Peek(key); ok {
+				return res, nil
+			}
+			res, err := gated()
+			if err != nil {
+				return nil, err
+			}
+			c.Put(key, res)
+			return res, nil
+		})
+		if shared && errors.Is(err, ErrGateRejected) {
+			// The rejection belongs to the leader (its acquire hook
+			// refused — typically its client vanished while queued);
+			// this caller's own gate was never consulted. Go again: a
+			// surviving caller becomes the new leader, and its own
+			// acquire decides.
+			continue
+		}
+		return res, err
+	}
+}
+
+// compute runs one underlying estimation (the expensive step the
+// cache and singleflight both exist to avoid repeating).
+func (s *System) compute(p Path, depart float64, m Method) (*QueryResult, error) {
+	if s.computeProbe != nil {
+		s.computeProbe()
+	}
+	return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
 }
 
 // GroundTruth runs the accuracy-optimal baseline (Section 2.2) on the
@@ -284,6 +405,11 @@ func (s *System) DensePaths(cardinality, minCount int) []DensePath {
 // walk from a random populated edge; used to generate long query
 // workloads (Figures 15 and 16). rnd is any deterministic int source.
 func (s *System) RandomQueryPath(n int, rnd func(int) int) (Path, error) {
+	if s.Graph.NumEdges() == 0 {
+		// Guard before calling rnd(0): rand.Intn-shaped sources panic
+		// on a non-positive bound.
+		return nil, fmt.Errorf("pathcost: graph has no edges, cannot sample a query path")
+	}
 	for attempt := 0; attempt < 200; attempt++ {
 		start := EdgeID(rnd(s.Graph.NumEdges()))
 		if p := s.Graph.RandomWalkPath(start, n, rnd); p != nil {
