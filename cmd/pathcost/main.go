@@ -7,6 +7,7 @@
 //	pathcost -preset small -trips 20000 demo
 //	pathcost -preset test -trips 5000 query -card 8 -hour 8
 //	pathcost -preset test -trips 5000 route -budget-mult 2.0 -hour 8
+//	pathcost -preset test -trips 5000 -batch 512 -workers 8
 //	pathcost -preset test net-stats
 //
 // File-based workflows (see cmd/trajgen for producing the inputs):
@@ -28,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	pathcost "repro"
@@ -52,11 +54,16 @@ func main() {
 	saveModel := flag.String("save-model", "", "save the trained model to this file")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for map matching and training (≤1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "query-distribution cache capacity in entries (0 = disabled)")
+	memoSize := flag.Int("memo", 0, "sub-path convolution memo capacity in prefix states (0 = disabled)")
+	batchN := flag.Int("batch", 0, "batch mode: run this many concurrent prefix-sharing queries with the memo off and on, verify identical results, report the speedup (overrides the command)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "demo"
+	}
+	if *batchN > 0 {
+		cmd = "batch"
 	}
 
 	params := pathcost.DefaultParams()
@@ -72,6 +79,9 @@ func main() {
 	}
 	if *cacheSize > 0 {
 		sys.EnableQueryCache(*cacheSize)
+	}
+	if *memoSize > 0 {
+		sys.EnableConvMemo(*memoSize)
 	}
 	if *saveModel != "" {
 		f, err := os.Create(*saveModel)
@@ -104,11 +114,21 @@ func main() {
 		runRoute(sys, depart, *budgetMult)
 	case "net-stats":
 		runNetStats(sys)
+	case "batch":
+		n := *batchN
+		if n <= 0 {
+			n = 256
+		}
+		runBatch(sys, n, *card, depart, *workers, *memoSize)
 	default:
-		fatal(fmt.Errorf("unknown command %q (want demo, query, route or net-stats)", cmd))
+		fatal(fmt.Errorf("unknown command %q (want demo, query, route, net-stats or batch)", cmd))
 	}
 	if st, ok := sys.QueryCacheStats(); ok {
 		fmt.Printf("\nquery cache: %d/%d entries, %d hits, %d misses (%.0f%% hit rate), %d evictions\n",
+			st.Entries, st.Capacity, st.Hits, st.Misses, st.HitRate()*100, st.Evictions)
+	}
+	if st, ok := sys.ConvMemoStats(); ok {
+		fmt.Printf("conv memo: %d/%d prefix states, %d hits, %d misses (%.0f%% hit rate), %d evictions\n",
 			st.Entries, st.Capacity, st.Hits, st.Misses, st.HitRate()*100, st.Evictions)
 	}
 }
@@ -232,6 +252,98 @@ func runRoute(sys *pathcost.System, depart, budgetMult float64) {
 		}
 		fmt.Printf("  %-2s-DFS: P(arrive ≤ budget) = %.3f over %d edges; explored %d, pruned %d, %v\n",
 			m, res.Prob, len(res.Path), res.Explored, res.Pruned, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// runBatch is the offline twin of the server's /v1/batch: it builds a
+// prefix-sharing workload (queries from a few trunk paths, as a
+// router exploring candidates from one source would produce), answers
+// it concurrently with the convolution memo off and then on, verifies
+// the two result sets are identical, and reports the speedup.
+func runBatch(sys *pathcost.System, n, card int, depart float64, workers, memoSize int) {
+	if card < 2 {
+		card = 2
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if memoSize <= 0 {
+		memoSize = 1 << 16
+	}
+	rnd := rand.New(rand.NewSource(7))
+	trunks := n / 16
+	if trunks < 1 {
+		trunks = 1
+	}
+	pool := make([]pathcost.Path, 0, trunks)
+	for len(pool) < trunks {
+		p, err := sys.RandomQueryPath(card, rnd.Intn)
+		if err != nil {
+			fatal(err)
+		}
+		pool = append(pool, p)
+	}
+	queries := make([]pathcost.Path, n)
+	for i := range queries {
+		trunk := pool[rnd.Intn(len(pool))]
+		queries[i] = trunk[:2+rnd.Intn(len(trunk)-1)]
+	}
+
+	run := func() ([]*pathcost.QueryResult, time.Duration) {
+		results := make([]*pathcost.QueryResult, len(queries))
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		idx := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					res, err := sys.PathDistribution(queries[i], depart, pathcost.OD)
+					if err != nil {
+						fatal(err)
+					}
+					results[i] = res
+				}
+			}()
+		}
+		for i := range queries {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		return results, time.Since(t0)
+	}
+
+	fmt.Printf("batch: %d distribution queries over %d trunk paths (≤%d edges), %d workers\n",
+		n, trunks, card, workers)
+	sys.EnableConvMemo(0)
+	plain, plainDur := run()
+	sys.EnableConvMemo(memoSize)
+	memod, memoDur := run()
+
+	identical := true
+	for i := range plain {
+		a, b := plain[i].Dist.Buckets(), memod[i].Dist.Buckets()
+		if len(a) != len(b) {
+			identical = false
+			break
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				identical = false
+				break
+			}
+		}
+	}
+	speedup := float64(plainDur) / float64(memoDur)
+	fmt.Printf("  memo off: %v (%.0f queries/s)\n", plainDur.Round(time.Millisecond),
+		float64(n)/plainDur.Seconds())
+	fmt.Printf("  memo on:  %v (%.0f queries/s), %.1fx faster\n", memoDur.Round(time.Millisecond),
+		float64(n)/memoDur.Seconds(), speedup)
+	fmt.Printf("  results byte-identical: %v\n", identical)
+	if !identical {
+		fatal(fmt.Errorf("memoized batch diverged from unmemoized results"))
 	}
 }
 

@@ -17,7 +17,12 @@
 //	  -d '{"path":[12,13,14],"depart":28800,"method":"OD","budget":600}'
 //	curl -s localhost:8080/v1/route \
 //	  -d '{"source":3,"dest":41,"depart":28800,"budget":900}'
+//	curl -s localhost:8080/v1/batch \
+//	  -d '{"queries":[{"kind":"distribution","path":[12,13],"depart":28800},
+//	                  {"kind":"route","source":3,"dest":41,"depart":28800,"budget":900}]}'
 //	curl -s localhost:8080/v1/stats
+//
+// See docs/API.md for the full endpoint reference.
 //
 // Signals: SIGHUP re-reads -model from disk and hot-swaps it without
 // dropping requests (ignored in synthesized mode); SIGINT/SIGTERM
@@ -49,6 +54,7 @@ func main() {
 	networkFile := flag.String("network", "", "road-network file (required with -model)")
 	modelFile := flag.String("model", "", "trained model file to serve (requires -network)")
 	cacheSize := flag.Int("cache", 4096, "query-distribution cache capacity in entries (0 = disabled); cached answers are shared per departure α-interval")
+	memoSize := flag.Int("memo", 4096, "sub-path convolution memo capacity in prefix states (0 = disabled); exact — memoized answers are byte-identical")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluated queries (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
 	flag.Parse()
@@ -61,6 +67,9 @@ func main() {
 	}
 	if *cacheSize > 0 {
 		sys.EnableQueryCache(*cacheSize)
+	}
+	if *memoSize > 0 {
+		sys.EnableConvMemo(*memoSize)
 	}
 	st := sys.Stats()
 	logger.Printf("serving %d vertices / %d edges, %d variables, coverage %.1f%% on %s",
@@ -86,6 +95,9 @@ func main() {
 			}
 			if *cacheSize > 0 {
 				next.EnableQueryCache(*cacheSize)
+			}
+			if *memoSize > 0 {
+				next.EnableConvMemo(*memoSize)
 			}
 			srv.Swap(next)
 			logger.Printf("SIGHUP: reloaded model from %s (%d variables)",

@@ -1,16 +1,3 @@
-// Package cache provides a sharded, size-bounded LRU map used to
-// memoize query-time cost distributions. Training a hybrid graph is
-// the expensive offline step, but at serving scale the per-query cost
-// — decomposition search plus joint-distribution chain evaluation —
-// still dominates, and real query workloads are heavily skewed toward
-// a small set of popular (path, departure-interval) pairs. A bounded
-// LRU in front of estimation turns that skew into throughput while
-// keeping memory use fixed.
-//
-// The cache is sharded by key hash: each shard has its own lock and
-// its own LRU list, so concurrent readers on different shards never
-// contend. Hit/miss/eviction counters are kept with atomics and
-// exposed via Stats.
 package cache
 
 import (

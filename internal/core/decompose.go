@@ -125,10 +125,13 @@ func (h *HybridGraph) BuildCandidateArray(p graph.Path, t float64) (*CandidateAr
 			}
 			// Temporal relevance: the variable's interval must
 			// intersect UI_k; among multiple intervals of the same
-			// path, keep the largest-overlap one.
+			// path, keep the largest-overlap one. Iterating the
+			// interval-sorted view (never the map) breaks overlap
+			// ties toward the earliest interval, keeping repeated
+			// queries deterministic.
 			var best *Variable
 			var bestOverlap float64
-			for _, v := range pv.byIv {
+			for _, v := range pv.sorted {
 				ol := h.overlapWithInterval(v.Interval, ui)
 				if ol > bestOverlap {
 					bestOverlap = ol
@@ -168,9 +171,11 @@ func sortByRank(vs []*Variable) {
 func (h *HybridGraph) bestUnitVariable(e graph.EdgeID, ui TimeInterval) *Variable {
 	pv, ok := h.vars[(graph.Path{e}).Key()]
 	if ok {
+		// Sorted iteration: overlap ties resolve to the earliest
+		// interval, deterministically (see BuildCandidateArray).
 		var best *Variable
 		var bestOverlap float64
-		for _, v := range pv.byIv {
+		for _, v := range pv.sorted {
 			ol := h.overlapWithInterval(v.Interval, ui)
 			if ol > bestOverlap {
 				bestOverlap = ol

@@ -30,6 +30,20 @@
 //     MethodLB — plus BuildStats, EvalStats and Timing, which
 //     instrument the figures.
 //
+// Beyond the paper, PathState implements the incremental property of
+// Section 4.3 ("path + another edge" reuses the chain evaluation of
+// the path), and ConvMemo builds the incremental sub-path convolution
+// engine on top of it: a prefix-keyed memo of chain states, keyed by
+// the exact departure time, that lets routing searches, batched
+// server queries and repeated distribution queries reuse one
+// another's prefixes with byte-identical results
+// (CostDistributionMemo, MemoStartPath, MemoExtendPath).
+//
+// Query evaluation is bit-deterministic by construction: float
+// accumulation over hyper-buckets always runs in sorted cell order,
+// and temporal-relevance ties break toward the earliest interval —
+// never map iteration order.
+//
 // A trained HybridGraph is safe for concurrent readers; training
 // itself is single-writer.
 package core

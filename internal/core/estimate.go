@@ -202,6 +202,13 @@ func initialState(fm *hist.Multi, positions []int) (*chainState, error) {
 // must be a prefix of the factor's positions (its overlap); the result
 // has all factor dims open. With an empty overlap this is the
 // independent outer product.
+//
+// multiply never mutates the receiver: chain states are shared — a DFS
+// parent is extended along many siblings, and the convolution memo
+// hands one state to concurrent queries — so the remapped copies below
+// must stay local. (A receiver write here would also make results
+// depend on sibling evaluation order, breaking the memo-on/memo-off
+// byte-identity guarantee.)
 func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*chainState, error) {
 	overlap := s.open
 	ovIdxF := indexOf(positions, overlap)
@@ -213,13 +220,14 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	// disagree about the cost support (they come from different
 	// trajectory sets), so a union remap — not a refinement — is
 	// required for cell indices to be comparable.
+	sm := s.m
 	fmAligned := fm
 	var err error
 	for i := range overlap {
 		sd := 1 + i // state dim (open dims are ordered and contiguous)
 		fd := ovIdxF[i]
-		union := hist.UnionBounds(s.m.Bounds(sd), fmAligned.Bounds(fd))
-		s.m, err = s.m.RemapDim(sd, union)
+		union := hist.UnionBounds(sm.Bounds(sd), fmAligned.Bounds(fd))
+		sm, err = sm.RemapDim(sd, union)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +261,7 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 
 	// Result dims: acc + all factor dims (in factor order).
 	bounds := make([][]float64, 1+fmAligned.Dims())
-	bounds[0] = s.m.Bounds(0)
+	bounds[0] = sm.Bounds(0)
 	for d := 0; d < fmAligned.Dims(); d++ {
 		bounds[1+d] = fmAligned.Bounds(d)
 	}
@@ -263,7 +271,7 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	}
 	idxBuf := make([]int, 1+fmAligned.Dims())
 	mi := make([]int, len(overlap))
-	s.m.ForEach(func(sk hist.CellKey, spr float64) {
+	sm.ForEach(func(sk hist.CellKey, spr float64) {
 		var gk hist.CellKey
 		for i := range overlap {
 			gk[i] = sk[1+i]
@@ -356,13 +364,15 @@ type cellFold struct {
 // foldCells folds a Multi's non-kept dims into accumulated-cost
 // intervals (an existing accumulator dim, when present, is simply not
 // listed in keepIdx and its bucket bounds join the interval sums).
+// Sorted iteration keeps the fold order — and therefore the float
+// accumulation downstream in accCuts/distributeFolds — reproducible.
 func foldCells(m *hist.Multi, keepIdx []int) ([]cellFold, int, error) {
 	keepSet := make(map[int]bool, len(keepIdx))
 	for _, d := range keepIdx {
 		keepSet[d] = true
 	}
 	var folds []cellFold
-	m.ForEach(func(k hist.CellKey, pr float64) {
+	m.ForEachSorted(func(k hist.CellKey, pr float64) {
 		var lo, hi float64
 		for d := 0; d < m.Dims(); d++ {
 			if keepSet[d] {

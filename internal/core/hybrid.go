@@ -69,10 +69,15 @@ func (v *Variable) StorageFloats() int {
 	return v.Joint.StorageFloats()
 }
 
-// pathVars groups the per-interval variables of one path.
+// pathVars groups the per-interval variables of one path. sorted is
+// the same set ordered by ascending interval: temporal-relevance
+// selection must iterate it (not the map) so that overlap ties are
+// broken deterministically — map iteration order would otherwise make
+// repeated identical queries pick different variables.
 type pathVars struct {
-	path graph.Path
-	byIv map[int]*Variable
+	path   graph.Path
+	byIv   map[int]*Variable
+	sorted []*Variable
 }
 
 // HybridGraph is the instantiated hybrid graph: the road network plus
@@ -378,6 +383,14 @@ func (h *HybridGraph) addVariable(v *Variable) {
 		h.byStart[v.Path[0]] = append(h.byStart[v.Path[0]], pv)
 	}
 	pv.byIv[v.Interval] = v
+	i := sort.Search(len(pv.sorted), func(i int) bool { return pv.sorted[i].Interval >= v.Interval })
+	if i < len(pv.sorted) && pv.sorted[i].Interval == v.Interval {
+		pv.sorted[i] = v
+	} else {
+		pv.sorted = append(pv.sorted, nil)
+		copy(pv.sorted[i+1:], pv.sorted[i:])
+		pv.sorted[i] = v
+	}
 	h.stats.VariablesByRank[v.Rank()-1]++
 	h.stats.StorageFloats += v.StorageFloats()
 	h.stats.SupportTotal += v.Support
@@ -405,18 +418,14 @@ func (h *HybridGraph) LookupInterval(p graph.Path, iv int) *Variable {
 	return pv.byIv[iv]
 }
 
-// VariablesOf returns all per-interval variables of path p.
+// VariablesOf returns all per-interval variables of path p, ordered
+// by ascending interval.
 func (h *HybridGraph) VariablesOf(p graph.Path) []*Variable {
 	pv, ok := h.vars[p.Key()]
 	if !ok {
 		return nil
 	}
-	out := make([]*Variable, 0, len(pv.byIv))
-	for _, v := range pv.byIv {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Interval < out[j].Interval })
-	return out
+	return append([]*Variable(nil), pv.sorted...)
 }
 
 // ForEachVariable visits every trajectory-backed variable in a

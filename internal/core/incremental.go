@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/hist"
@@ -11,6 +12,11 @@ import (
 // stochastic routing algorithms (Section 4.3): extending a path by one
 // edge reuses the chain evaluation of the existing path instead of
 // recomputing it, which is the paper's "incremental property".
+//
+// A PathState is immutable after construction and safe to share
+// between goroutines (the convolution memo hands one state to many
+// concurrent queries); the lazily derived marginal is guarded by a
+// sync.Once and is a deterministic function of the state.
 type PathState struct {
 	h    *HybridGraph
 	path graph.Path
@@ -24,11 +30,34 @@ type PathState struct {
 	// so a future factor can still condition on any suffix edge.
 	inter   []*chainState
 	preFold *chainState
-	dist    *hist.Histogram
+
+	// dist is the flattened cost marginal of the final chain state,
+	// derived on first use: a memoized intermediate prefix that is
+	// only ever extended never pays for a marginal nobody reads.
+	distOnce sync.Once
+	dist     *hist.Histogram
+	distErr  error
 }
 
-// Dist returns the cost distribution of the state's path.
-func (s *PathState) Dist() *hist.Histogram { return s.dist }
+// Dist returns the cost distribution of the state's path, deriving it
+// on first call (nil in the never-expected case that marginalization
+// fails; DistErr surfaces the error).
+func (s *PathState) Dist() *hist.Histogram {
+	d, _ := s.DistErr()
+	return d
+}
+
+// DistErr returns the cost distribution of the state's path,
+// flattening the final chain state on first call.
+func (s *PathState) DistErr() (*hist.Histogram, error) {
+	s.distOnce.Do(func() {
+		s.dist, s.distErr = s.inter[len(s.inter)-1].m.SumHistogram(s.h.Params.MaxResultBuckets)
+	})
+	return s.dist, s.distErr
+}
+
+// Decomp returns the decomposition behind the state's distribution.
+func (s *PathState) Decomp() *Decomposition { return s.de }
 
 // Path returns the state's path (callers must not modify it).
 func (s *PathState) Path() graph.Path { return s.path }
@@ -158,14 +187,8 @@ func (s *PathState) recompute(prev *PathState) error {
 		// edge extends the last factor's path without changing the
 		// decomposition — cannot happen by construction, but guard).
 		s.preFold = prev.preFold
-		state = s.inter[len(s.inter)-1]
 	}
-
-	dist, err := state.m.SumHistogram(h.Params.MaxResultBuckets)
-	if err != nil {
-		return err
-	}
-	s.dist = dist
+	// The cost marginal of s.inter[last] is derived lazily in DistErr.
 	return nil
 }
 

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+// ConvMemo is the incremental sub-path convolution engine: a
+// prefix-keyed memo of PathStates layered on the internal/cache LRU.
+// Evaluating an n-edge path runs a chain of factor convolutions
+// (Equation 2); candidate paths explored from one source — by the
+// routing DFS, by the queries of one /v1/batch request, or by
+// successive PathDistribution calls — share long prefixes, and the
+// memo lets each "prefix + one more edge" step reuse the stored chain
+// state of the prefix instead of re-deriving the whole path.
+//
+// Keys are exact: (path signature, departure time, method, rank cap).
+// Unlike the α-interval query cache, two departures in the same
+// interval do NOT share a memo entry — the shift-and-enlarge windows
+// of Eq. 3 depend on the exact departure — so memoized results are
+// byte-identical to unmemoized ones, never approximate.
+//
+// A ConvMemo is safe for concurrent use: the LRU shards its locks and
+// the memoized PathStates are immutable after construction (every
+// chain operation builds new states). One memo may be shared by any
+// number of concurrent routing and distribution queries.
+type ConvMemo struct {
+	lru *cache.LRU[*PathState]
+}
+
+// NewConvMemo builds a memo holding at most capacity prefix states.
+// capacity < 1 is treated as 1.
+func NewConvMemo(capacity int) *ConvMemo {
+	return &ConvMemo{lru: cache.NewLRU[*PathState](capacity)}
+}
+
+// Stats snapshots the memo's hit/miss/eviction counters.
+func (m *ConvMemo) Stats() cache.Stats { return m.lru.Stats() }
+
+// memoKey is the exact identity of a prefix state. The departure is
+// formatted losslessly ('b' is exact for float64), so distinct
+// departures never alias.
+func memoKey(pathKey string, t float64, opt QueryOptions) string {
+	return pathKey + "@" + strconv.FormatFloat(t, 'b', -1, 64) +
+		"/" + string(opt.Method) + "#" + strconv.Itoa(opt.RankCap)
+}
+
+// memoizable reports whether the method has an incremental (chain)
+// evaluator; RD's random decomposition does not.
+func memoizable(m Method) bool {
+	return m == MethodOD || m == MethodHP || m == MethodLB
+}
+
+// MemoStartPath is StartPath through the memo: a hit returns the
+// stored single-edge state, a miss computes and stores it. A nil memo
+// degrades to plain StartPath.
+func (h *HybridGraph) MemoStartPath(m *ConvMemo, e graph.EdgeID, t float64, opt QueryOptions) (*PathState, error) {
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if m == nil || !memoizable(opt.Method) {
+		return h.StartPath(e, t, opt)
+	}
+	key := memoKey((graph.Path{e}).Key(), t, opt)
+	if s, ok := m.lru.Get(key); ok {
+		return s, nil
+	}
+	s, err := h.StartPath(e, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	m.lru.Put(key, s)
+	return s, nil
+}
+
+// MemoExtendPath is ExtendPath through the memo: a hit returns the
+// stored state for the extended path — one map lookup instead of a
+// convolution step — and a miss extends s and stores the result. A nil
+// memo degrades to plain ExtendPath.
+func (h *HybridGraph) MemoExtendPath(m *ConvMemo, s *PathState, e graph.EdgeID) (*PathState, error) {
+	if m == nil || !memoizable(s.opt.Method) {
+		return h.ExtendPath(s, e)
+	}
+	np := make(graph.Path, len(s.path)+1)
+	copy(np, s.path)
+	np[len(s.path)] = e
+	key := memoKey(np.Key(), s.t, s.opt)
+	if ns, ok := m.lru.Get(key); ok {
+		return ns, nil
+	}
+	ns, err := h.ExtendPath(s, e)
+	if err != nil {
+		return nil, err
+	}
+	m.lru.Put(key, ns)
+	return ns, nil
+}
+
+// MemoPathState evaluates path p departing at t through the memo: it
+// resumes from the longest memoized prefix of p and extends one edge
+// at a time, storing every intermediate prefix state so later queries
+// (longer paths, sibling branches, other batch entries) can resume
+// even deeper.
+func (h *HybridGraph) MemoPathState(m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*PathState, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: cannot evaluate an empty path")
+	}
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if m == nil || !memoizable(opt.Method) {
+		var st *PathState
+		var err error
+		for i, e := range p {
+			if i == 0 {
+				st, err = h.StartPath(e, t, opt)
+			} else {
+				st, err = h.ExtendPath(st, e)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	var st *PathState
+	base := 0
+	// Longest-prefix probe. Peek keeps the scan out of the hit/miss
+	// counters and its value is what we commit to — the follow-up Get
+	// only counts the logical hit and refreshes recency, so a
+	// concurrent eviction between the two calls costs a stats blip,
+	// never a wrong base.
+	for n := len(p); n >= 1; n-- {
+		key := memoKey(p[:n].Key(), t, opt)
+		if s, ok := m.lru.Peek(key); ok {
+			st, base = s, n
+			m.lru.Get(key)
+			break
+		}
+	}
+	if st == nil {
+		m.lru.Get(memoKey(p.Key(), t, opt)) // count the cold miss
+	}
+	var err error
+	for i := base; i < len(p); i++ {
+		if st == nil {
+			st, err = h.StartPath(p[0], t, opt)
+		} else {
+			st, err = h.ExtendPath(st, p[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.lru.Put(memoKey(p[:i+1].Key(), t, opt), st)
+	}
+	return st, nil
+}
+
+// CostDistributionMemo is CostDistribution through the memo. Results
+// are byte-identical to the unmemoized call: the chain evaluator
+// applies exactly the operations Evaluate applies, the memoized
+// states it resumes from were produced by those same operations, and
+// the single-factor shortcut below mirrors Evaluate's. Methods
+// without an incremental evaluator (RD) and a nil memo fall through
+// to CostDistribution unchanged.
+//
+// Timing in the result reflects only work this call actually did: a
+// deep prefix hit reports a near-zero JC, which is the point.
+func (h *HybridGraph) CostDistributionMemo(m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if m == nil || !memoizable(opt.Method) {
+		return h.CostDistribution(p, t, opt)
+	}
+	t0 := time.Now()
+	st, err := h.MemoPathState(m, p, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	de := st.de
+	res := &QueryResult{
+		Decomp: de,
+		Stats:  EvalStats{Factors: len(de.Vars)},
+	}
+	if len(de.Vars) == 1 {
+		// Single-factor parity: Evaluate answers a fully covered query
+		// with the variable's own distribution, not the folded chain
+		// state — and skipping DistErr here leaves the state's lazy
+		// marginal unpaid on the short-path hot case.
+		v := de.Vars[0]
+		if v.Hist != nil {
+			res.Dist = v.Hist
+		} else {
+			out, err := v.Joint.SumHistogram(h.Params.MaxResultBuckets)
+			if err != nil {
+				return nil, err
+			}
+			res.Dist = out
+		}
+	} else {
+		dist, err := st.DistErr()
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dist
+	}
+	res.Stats.ResultBuckets = res.Dist.NumBuckets()
+	res.Timing = Timing{JC: time.Since(t0)}
+	return res, nil
+}

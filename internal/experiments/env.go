@@ -1,8 +1,3 @@
-// Package experiments regenerates every table and figure of the
-// paper's empirical study (Section 5) on the synthetic-city substitute
-// workloads. Each FigNN function returns a Table whose rows mirror the
-// series the paper plots; cmd/experiments renders them and
-// EXPERIMENTS.md records the measured-vs-paper comparison.
 package experiments
 
 import (

@@ -1,9 +1,3 @@
-// Package geo provides basic geographic primitives used across the
-// library: WGS84 points, great-circle distances, a local planar
-// projection, and point-to-segment geometry needed by the map matcher.
-//
-// All distances are in meters and all coordinates are in decimal
-// degrees unless noted otherwise.
 package geo
 
 import (

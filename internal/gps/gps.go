@@ -1,11 +1,3 @@
-// Package gps holds the trajectory data model: raw GPS records as
-// produced by vehicles (Section 2.1), and map-matched trajectories —
-// the (path, departure time, per-edge costs) observations that all
-// cost-estimation machinery consumes.
-//
-// Times are absolute seconds since the start of the data collection
-// period; SecondsOfDay projects them onto the paper's time-of-day
-// domain T.
 package gps
 
 import (

@@ -1,8 +1,3 @@
-// Package graph models a road network as a directed graph, following
-// the formalization in Section 2.1 of Dai et al. (PVLDB 2016): a
-// vertex is an intersection or road end, an edge is a directed road
-// segment, and a path is a sequence of adjacent edges over distinct
-// vertices.
 package graph
 
 import (

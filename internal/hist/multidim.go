@@ -172,11 +172,12 @@ func (m *Multi) ForEachSorted(fn func(key CellKey, pr float64)) {
 }
 
 // Total returns the current probability mass (1 after Normalize).
+// Summation runs in sorted key order: float addition is not
+// associative, so map-order iteration would make the total — and
+// everything normalized by it — drift at the bit level between runs.
 func (m *Multi) Total() float64 {
 	var t float64
-	for _, v := range m.cells {
-		t += v
-	}
+	m.ForEachSorted(func(_ CellKey, v float64) { t += v })
 	return t
 }
 
@@ -206,12 +207,13 @@ func (m *Multi) Clone() *Multi {
 }
 
 // Marginal returns the one-dimensional marginal distribution of
-// dimension d.
+// dimension d. Accumulation runs in sorted key order so the result is
+// bit-identical across runs (see Total).
 func (m *Multi) Marginal(d int) *Histogram {
 	pr := make([]float64, m.NumBuckets(d))
-	for k, v := range m.cells {
+	m.ForEachSorted(func(k CellKey, v float64) {
 		pr[k[d]] += v
-	}
+	})
 	bs := make([]Bucket, 0, len(pr))
 	for i, p := range pr {
 		if p > 0 {
@@ -240,13 +242,15 @@ func (m *Multi) MarginalOnto(dims []int) (*Multi, error) {
 	if err != nil {
 		return nil, err
 	}
-	for k, v := range m.cells {
+	// Sorted order: distinct cells fold onto shared marginal cells, so
+	// the accumulation order must be reproducible (see Total).
+	m.ForEachSorted(func(k CellKey, v float64) {
 		var nk CellKey
 		for i, d := range dims {
 			nk[i] = k[d]
 		}
 		out.cells[nk] += v
-	}
+	})
 	return out, nil
 }
 
@@ -290,15 +294,17 @@ func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
 	if len(m.cells) == 0 {
 		return nil, fmt.Errorf("hist: empty multi-histogram")
 	}
+	// Sorted order: rearrange accumulates overlapping intervals, so
+	// the input sequence must be reproducible (see Total).
 	ivals := make([]weightedInterval, 0, len(m.cells))
-	for k, v := range m.cells {
+	m.ForEachSorted(func(k CellKey, v float64) {
 		var lo, hi float64
 		for d := 0; d < m.Dims(); d++ {
 			lo += m.bounds[d][k[d]]
 			hi += m.bounds[d][k[d]+1]
 		}
 		ivals = append(ivals, weightedInterval{lo: lo, hi: hi, pr: v})
-	}
+	})
 	h, err := rearrange(ivals)
 	if err != nil {
 		return nil, err

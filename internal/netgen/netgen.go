@@ -1,11 +1,3 @@
-// Package netgen generates synthetic city road networks that stand in
-// for the paper's Aalborg (N1, OpenStreetMap, all roads) and Beijing
-// (N2, highways and main roads only) networks. The generator lays out
-// a jittered grid of intersections, promotes periodic rows/columns to
-// arterial classes, threads a motorway ring around the center, drops a
-// fraction of residential streets, and makes a fraction of the
-// remainder one-way — yielding an urban-looking directed graph that is
-// deterministic in the seed.
 package netgen
 
 import (

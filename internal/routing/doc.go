@@ -10,5 +10,13 @@
 // OD-DFS; Options.Incremental reuses the chain-evaluation state along
 // the DFS so each edge extension costs one factor multiplication
 // instead of a full re-evaluation. topk.go generalizes the search to
-// probabilistic top-k path queries.
+// probabilistic top-k path queries and skyline.go to stochastic
+// skyline queries.
+//
+// Router.EnableMemo layers the incremental sub-path convolution
+// engine (core.ConvMemo) under the DFS: prefix chain states are
+// memoized across queries, so repeated or overlapping searches —
+// including the entries of one server batch — extend a candidate by
+// one edge with a single memo lookup when the prefix was seen before.
+// Memoized results are byte-identical to unmemoized ones.
 package routing

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hist"
@@ -47,13 +49,55 @@ type Result struct {
 }
 
 // Router answers stochastic routing queries over one hybrid graph.
+// It is safe for concurrent use; the optional convolution memo
+// (EnableMemo/SetMemo) is shared by all concurrent queries.
 type Router struct {
 	h *core.HybridGraph
+
+	// memo, when non-nil, caches sub-path chain states across queries
+	// so a DFS expansion whose prefix was already evaluated — by an
+	// earlier query, a concurrent batch entry, or a distribution
+	// query sharing the memo — costs one lookup instead of a
+	// convolution. Atomic so it can be installed or dropped while
+	// queries run.
+	memo atomic.Pointer[core.ConvMemo]
 }
 
 // New creates a Router.
 func New(h *core.HybridGraph) *Router {
 	return &Router{h: h}
+}
+
+// EnableMemo installs a fresh convolution memo holding at most
+// capacity prefix states; capacity ≤ 0 removes the memo. Memoized
+// results are byte-identical to unmemoized ones (the memo keys on the
+// exact departure time, not the α-interval). Safe to call while
+// queries are in flight: running queries finish against whichever
+// memo they started with.
+func (r *Router) EnableMemo(capacity int) {
+	if capacity <= 0 {
+		r.memo.Store(nil)
+		return
+	}
+	r.memo.Store(core.NewConvMemo(capacity))
+}
+
+// SetMemo shares an existing memo (possibly nil) with this router —
+// used by pathcost.System to let routing and distribution queries
+// reuse each other's prefix states.
+func (r *Router) SetMemo(m *core.ConvMemo) { r.memo.Store(m) }
+
+// Memo returns the currently installed memo, or nil.
+func (r *Router) Memo() *core.ConvMemo { return r.memo.Load() }
+
+// MemoStats snapshots the memo's hit/miss/eviction counters; ok is
+// false when no memo is installed.
+func (r *Router) MemoStats() (cache.Stats, bool) {
+	m := r.memo.Load()
+	if m == nil {
+		return cache.Stats{}, false
+	}
+	return m.Stats(), true
 }
 
 // BestPath runs the DFS budget query. It returns an error when the
@@ -83,6 +127,7 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 
 	res := &Result{}
 	best := 0.0
+	memo := r.memo.Load()
 	visited := make(map[graph.VertexID]bool)
 	visited[q.Source] = true
 
@@ -113,14 +158,16 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 			var err error
 			if opt.Incremental {
 				if state == nil {
-					ns, err = r.h.StartPath(eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
+					ns, err = r.h.MemoStartPath(memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
 				} else {
-					ns, err = r.h.ExtendPath(state, eid)
+					ns, err = r.h.MemoExtendPath(memo, state, eid)
+				}
+				if err == nil {
+					dist, err = ns.DistErr()
 				}
 				if err != nil {
 					return err
 				}
-				dist = ns.Dist()
 			} else {
 				np := append(prefix.Clone(), eid)
 				qr, err := r.h.CostDistribution(np, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})

@@ -55,6 +55,7 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 	}
 
 	explored := 0
+	memo := r.memo.Load()
 	visited := make(map[graph.VertexID]bool)
 	visited[q.Source] = true
 
@@ -78,15 +79,18 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 			var ns *core.PathState
 			var err error
 			if state == nil {
-				ns, err = r.h.StartPath(eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
+				ns, err = r.h.MemoStartPath(memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
 			} else {
-				ns, err = r.h.ExtendPath(state, eid)
+				ns, err = r.h.MemoExtendPath(memo, state, eid)
 			}
 			if err != nil {
 				return err
 			}
 			explored++
-			dist := ns.Dist()
+			dist, err := ns.DistErr()
+			if err != nil {
+				return err
+			}
 			if e.To == q.Dest {
 				p := dist.CDF(q.Budget)
 				if results.Len() < k {

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestBatchSmoke answers a mixed batch — distribution, route, topk
+// and one invalid entry — and checks the per-entry status contract.
+func TestBatchSmoke(t *testing.T) {
+	sys := testSystem(t)
+	sys.EnableConvMemo(4096)
+	srv := New(sys, Config{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	src, dst, budget := routePair(t, sys)
+
+	req := batchRequest{Queries: []batchQuery{
+		{Kind: "distribution", Path: path, Depart: depart, Budget: 3600},
+		{Path: path, Depart: depart}, // kind omitted = distribution
+		{Kind: "route", Source: src, Dest: dst, Depart: depart, Budget: budget},
+		{Kind: "topk", Source: src, Dest: dst, Depart: depart, Budget: budget, K: 2},
+		{Kind: "route", Source: src, Dest: src, Depart: depart, Budget: budget}, // invalid: src == dst
+		{Kind: "teleport"}, // invalid kind
+	}}
+	var resp batchResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", req, &resp); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if len(resp.Results) != len(req.Queries) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(req.Queries))
+	}
+	r := resp.Results
+	if r[0].Status != http.StatusOK || r[0].Distribution == nil || r[0].Distribution.MeanS <= 0 {
+		t.Fatalf("entry 0 malformed: %+v", r[0])
+	}
+	if r[0].Distribution.ProbWithin == nil {
+		t.Fatalf("entry 0 missing prob_within: %+v", r[0].Distribution)
+	}
+	if r[1].Status != http.StatusOK || r[1].Kind != "distribution" || r[1].Distribution == nil {
+		t.Fatalf("entry 1 (defaulted kind) malformed: %+v", r[1])
+	}
+	if r[2].Status != http.StatusOK || r[2].Route == nil || len(r[2].Route.Path) == 0 {
+		t.Fatalf("entry 2 malformed: %+v", r[2])
+	}
+	if r[3].Status != http.StatusOK || r[3].TopK == nil || len(r[3].TopK.Routes) == 0 {
+		t.Fatalf("entry 3 malformed: %+v", r[3])
+	}
+	if r[4].Status != http.StatusBadRequest || r[4].Error == "" || r[4].Route != nil {
+		t.Fatalf("entry 4 should be a per-entry 400: %+v", r[4])
+	}
+	if r[5].Status != http.StatusBadRequest || r[5].Error == "" {
+		t.Fatalf("entry 5 should reject the unknown kind: %+v", r[5])
+	}
+}
+
+// TestBatchMatchesSingleQueries proves a batch answers exactly what
+// the standalone endpoints answer, including with the convolution
+// memo enabled (prefix reuse across the batch must not change
+// results).
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	sys := testSystem(t)
+	sys.EnableConvMemo(4096)
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	src, dst, budget := routePair(t, sys)
+
+	var single distributionResponse
+	if code := postJSON(t, ts.URL+"/v1/distribution",
+		distributionRequest{Path: path, Depart: depart}, &single); code != http.StatusOK {
+		t.Fatalf("single distribution = %d", code)
+	}
+	var singleRoute routeResponse
+	if code := postJSON(t, ts.URL+"/v1/route",
+		routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}, &singleRoute); code != http.StatusOK {
+		t.Fatalf("single route = %d", code)
+	}
+
+	var resp batchResponse
+	req := batchRequest{Queries: []batchQuery{
+		{Kind: "distribution", Path: path, Depart: depart},
+		{Kind: "route", Source: src, Dest: dst, Depart: depart, Budget: budget},
+	}}
+	if code := postJSON(t, ts.URL+"/v1/batch", req, &resp); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	bd := resp.Results[0].Distribution
+	if bd == nil || bd.MeanS != single.MeanS || bd.P50S != single.P50S || len(bd.Buckets) != len(single.Buckets) {
+		t.Fatalf("batch distribution differs from single: %+v vs %+v", bd, single)
+	}
+	for i := range bd.Buckets {
+		if bd.Buckets[i] != single.Buckets[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, bd.Buckets[i], single.Buckets[i])
+		}
+	}
+	br := resp.Results[1].Route
+	if br == nil || br.Prob != singleRoute.Prob || len(br.Path) != len(singleRoute.Path) {
+		t.Fatalf("batch route differs from single: %+v vs %+v", br, singleRoute)
+	}
+	for i := range br.Path {
+		if br.Path[i] != singleRoute.Path[i] {
+			t.Fatalf("route edge %d differs", i)
+		}
+	}
+}
+
+// TestBatchValidation pins the whole-batch 400 contract.
+func TestBatchValidation(t *testing.T) {
+	sys := testSystem(t)
+	srv := New(sys, Config{MaxBatch: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", batchRequest{}, &e); code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", code)
+	}
+	over := batchRequest{Queries: make([]batchQuery, 5)}
+	if code := postJSON(t, ts.URL+"/v1/batch", over, &e); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch = %d, want 400 (%s)", code, e.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/batch = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatchConcurrentClients hammers /v1/batch from many clients over
+// a tiny in-flight bound; under -race this proves batch fan-out,
+// semaphore accounting and memo sharing are safe together.
+func TestBatchConcurrentClients(t *testing.T) {
+	sys := testSystem(t)
+	sys.EnableQueryCache(128)
+	sys.EnableConvMemo(4096)
+	srv := New(sys, Config{MaxInFlight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	src, dst, budget := routePair(t, sys)
+	req := batchRequest{Queries: []batchQuery{
+		{Kind: "distribution", Path: path, Depart: depart},
+		{Kind: "route", Source: src, Dest: dst, Depart: depart, Budget: budget},
+		{Kind: "topk", Source: src, Dest: dst, Depart: depart, Budget: budget, K: 2},
+	}}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 3; n++ {
+				var resp batchResponse
+				code := postJSON(t, ts.URL+"/v1/batch", req, &resp)
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("client %d iter %d: status %d", i, n, code)
+					return
+				}
+				for j, res := range resp.Results {
+					if res.Status != http.StatusOK {
+						errs <- fmt.Errorf("client %d iter %d entry %d: status %d (%s)", i, n, j, res.Status, res.Error)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The memo must have been exercised by the overlapping entries.
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Memo == nil || stats.Memo.Entries == 0 {
+		t.Fatalf("stats should report the enabled memo with entries: %+v", stats.Memo)
+	}
+}

@@ -1,0 +1,24 @@
+// Package server exposes a trained pathcost.System over an HTTP JSON
+// API — the serving half of the paper's train-once/serve-many
+// economics (training takes minutes to ~45 minutes on the paper's
+// fleets; a query takes milliseconds). The API surface:
+//
+//	POST /v1/distribution  — path cost-distribution query
+//	POST /v1/route         — probabilistic budget routing
+//	POST /v1/topk          — top-k paths by on-time probability
+//	POST /v1/batch         — N distribution/route/topk queries at once
+//	GET  /v1/stats         — model, cache, memo and serving counters
+//	GET  /healthz          — liveness
+//
+// docs/API.md is the full request/response reference.
+//
+// The handler is safe for arbitrary client concurrency: query
+// evaluation is bounded by a semaphore (Config.MaxInFlight) so a
+// traffic spike degrades into queueing rather than into unbounded
+// goroutine and memory growth, and the underlying System is swappable
+// at runtime (Swap) for zero-downtime model reloads. Batch entries
+// evaluate concurrently against one system snapshot, each charged
+// individually under the same semaphore; when the served System has a
+// convolution memo enabled (EnableConvMemo), overlapping entries
+// reuse each other's sub-path convolutions.
+package server

@@ -1,19 +1,3 @@
-// Package server exposes a trained pathcost.System over an HTTP JSON
-// API — the serving half of the paper's train-once/serve-many
-// economics (training takes minutes to ~45 minutes on the paper's
-// fleets; a query takes milliseconds). The API surface:
-//
-//	POST /v1/distribution  — path cost-distribution query
-//	POST /v1/route         — probabilistic budget routing
-//	POST /v1/topk          — top-k paths by on-time probability
-//	GET  /v1/stats         — model, cache and serving counters
-//	GET  /healthz          — liveness
-//
-// The handler is safe for arbitrary client concurrency: query
-// evaluation is bounded by a semaphore (Config.MaxInFlight) so a
-// traffic spike degrades into queueing rather than into unbounded
-// goroutine and memory growth, and the underlying System is swappable
-// at runtime (Swap) for zero-downtime model reloads.
 package server
 
 import (
@@ -23,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +29,7 @@ type Config struct {
 	// Route and topk requests each hold a slot for their whole
 	// evaluation; distribution requests are charged per underlying
 	// computation, so cache hits and singleflight followers are free.
+	// Batch entries are charged individually under the same cap.
 	// 0 means DefaultMaxInFlight.
 	MaxInFlight int
 	// MaxTopK caps the k accepted by /v1/topk (0 = 32).
@@ -53,6 +39,9 @@ type Config struct {
 	// length, so an uncapped path would let a few maximal requests
 	// monopolize the MaxInFlight evaluation slots.
 	MaxPathEdges int
+	// MaxBatch caps the number of queries accepted in one /v1/batch
+	// request (0 = 64).
+	MaxBatch int
 }
 
 // Server serves one pathcost.System over HTTP. Create with New, mount
@@ -81,6 +70,9 @@ func New(sys *pathcost.System, cfg Config) *Server {
 	if cfg.MaxPathEdges <= 0 {
 		cfg.MaxPathEdges = 256
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
 	s := &Server{
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		cfg:   cfg,
@@ -92,6 +84,7 @@ func New(sys *pathcost.System, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/distribution", s.handleDistribution)
 	s.mux.HandleFunc("/v1/route", s.handleRoute)
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
@@ -157,11 +150,13 @@ func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) erro
 	}
 }
 
-// acquire takes a query-evaluation slot, giving up when the client
-// disconnects first. It reports whether the slot was obtained; the
-// caller must release() exactly once when it was.
-func (s *Server) acquire(r *http.Request) bool {
-	if r.Context().Err() != nil {
+// acquire takes a query-evaluation slot, giving up when the caller's
+// context ends first. It reports whether the slot was obtained; the
+// caller must release() exactly once when it was. Batch entries pass
+// their request's context, so one disconnected batch client frees
+// every slot its entries were waiting for.
+func (s *Server) acquire(ctx context.Context) bool {
+	if ctx.Err() != nil {
 		// Already-dead client: don't let select's random choice burn
 		// a slot on an evaluation nobody will receive.
 		s.abandoned.Add(1)
@@ -170,7 +165,7 @@ func (s *Server) acquire(r *http.Request) bool {
 	select {
 	case s.sem <- struct{}{}:
 		return true
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		// Nothing will be written for this request; count it so
 		// /v1/stats still shows traffic shed under saturation.
 		s.abandoned.Add(1)
@@ -255,6 +250,40 @@ type topkResponse struct {
 	Routes []topkEntry `json:"routes"`
 }
 
+// batchQuery is one entry of a /v1/batch request: a flattened union
+// of the distribution, route and topk request shapes, discriminated
+// by Kind ("distribution" — the default — "route" or "topk").
+type batchQuery struct {
+	Kind   string  `json:"kind,omitempty"`
+	Path   []int64 `json:"path,omitempty"`
+	Source int64   `json:"source,omitempty"`
+	Dest   int64   `json:"dest,omitempty"`
+	Depart float64 `json:"depart"`
+	Budget float64 `json:"budget,omitempty"`
+	Method string  `json:"method,omitempty"`
+	K      int     `json:"k,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+// batchResult is one entry's outcome. Status carries the status code
+// the query would have received as a standalone request (200, 400,
+// 422, 500); exactly one of the payload fields is set on 200.
+type batchResult struct {
+	Kind         string                `json:"kind"`
+	Status       int                   `json:"status"`
+	Error        string                `json:"error,omitempty"`
+	Distribution *distributionResponse `json:"distribution,omitempty"`
+	Route        *routeResponse        `json:"route,omitempty"`
+	TopK         *topkResponse         `json:"topk,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+}
+
 type statsResponse struct {
 	Vertices        int     `json:"vertices"`
 	Edges           int     `json:"edges"`
@@ -265,6 +294,7 @@ type statsResponse struct {
 	Beta            int     `json:"beta"`
 
 	Cache *cacheStatsJSON `json:"cache,omitempty"`
+	Memo  *cacheStatsJSON `json:"memo,omitempty"`
 
 	UptimeS     float64 `json:"uptime_s"`
 	Served      uint64  `json:"served"`
@@ -350,25 +380,121 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 	if !s.readRequest(w, r, &req) {
 		return
 	}
+	resp, status, msg := s.evalDistribution(r.Context(), s.System(), &req)
+	s.writeOutcome(w, status, msg, resp)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req routeRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	resp, status, msg := s.evalRoute(r.Context(), s.System(), &req)
+	s.writeOutcome(w, status, msg, resp)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	resp, status, msg := s.evalTopK(r.Context(), s.System(), &req)
+	s.writeOutcome(w, status, msg, resp)
+}
+
+// handleBatch answers N queries in one request. Entries evaluate
+// concurrently against one system snapshot (a mid-batch Swap never
+// splits a batch across models), each charged individually under the
+// MaxInFlight gate, and overlapping entries reuse each other's
+// sub-path convolutions when the served system has a memo enabled
+// (pathcostd -memo). One invalid entry fails that entry, not the
+// batch: per-entry status codes carry what each query would have
+// received standalone.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch must contain at least one query")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d queries, cap is %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
 	sys := s.System()
+	ctx := r.Context()
+	results := make([]batchResult, len(req.Queries))
+	var wg sync.WaitGroup
+	for i := range req.Queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.evalBatchEntry(ctx, sys, &req.Queries[i])
+		}(i)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return // client gone; entries already accounted their shed work
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// evalBatchEntry dispatches one batch entry by kind.
+func (s *Server) evalBatchEntry(ctx context.Context, sys *pathcost.System, q *batchQuery) batchResult {
+	kind := strings.ToLower(strings.TrimSpace(q.Kind))
+	if kind == "" {
+		kind = "distribution"
+	}
+	out := batchResult{Kind: kind}
+	switch kind {
+	case "distribution":
+		resp, status, msg := s.evalDistribution(ctx, sys, &distributionRequest{
+			Path: q.Path, Depart: q.Depart, Method: q.Method, Budget: q.Budget,
+		})
+		out.Distribution, out.Status, out.Error = resp, status, msg
+	case "route":
+		resp, status, msg := s.evalRoute(ctx, sys, &routeRequest{
+			Source: q.Source, Dest: q.Dest, Depart: q.Depart, Budget: q.Budget, Method: q.Method,
+		})
+		out.Route, out.Status, out.Error = resp, status, msg
+	case "topk":
+		resp, status, msg := s.evalTopK(ctx, sys, &topkRequest{
+			routeRequest: routeRequest{
+				Source: q.Source, Dest: q.Dest, Depart: q.Depart, Budget: q.Budget, Method: q.Method,
+			},
+			K: q.K,
+		})
+		out.TopK, out.Status, out.Error = resp, status, msg
+	default:
+		out.Status = http.StatusBadRequest
+		out.Error = fmt.Sprintf("unknown kind %q (want distribution, route or topk)", q.Kind)
+	}
+	return out
+}
+
+// --- query evaluation (shared by single-query handlers and batch) ----
+
+// evalDistribution validates and answers one distribution query.
+// status 0 means the caller's client disconnected and nothing should
+// be written; any other non-200 status carries msg as the error body.
+func (s *Server) evalDistribution(ctx context.Context, sys *pathcost.System, req *distributionRequest) (*distributionResponse, int, string) {
 	m, err := parseMethod(req.Method)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, http.StatusBadRequest, err.Error()
 	}
 	if err := checkDepart(req.Depart); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, http.StatusBadRequest, err.Error()
 	}
 	if req.Budget < 0 {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("budget %v must be ≥ 0 seconds (0 or omitted skips prob_within)", req.Budget))
-		return
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("budget %v must be ≥ 0 seconds (0 or omitted skips prob_within)", req.Budget)
 	}
 	p, err := parsePath(sys.Graph, req.Path, s.cfg.MaxPathEdges)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, http.StatusBadRequest, err.Error()
 	}
 	// The in-flight bound is charged per underlying computation, not
 	// per request: cache hits and singleflight followers (requests
@@ -377,15 +503,15 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 	// ErrGateRejected here is always this request's own — followers
 	// who inherit a leader's rejection retry inside
 	// PathDistributionGated until their own acquire decides. The
-	// request context unparks this handler if its client disconnects
-	// while waiting behind another request's computation.
-	res, err := sys.PathDistributionGated(r.Context(), p, req.Depart, m,
-		func() bool { return s.acquire(r) }, s.release)
+	// caller's context unparks this evaluation if its client
+	// disconnects while waiting behind another request's computation.
+	res, err := sys.PathDistributionGated(ctx, p, req.Depart, m,
+		func() bool { return s.acquire(ctx) }, s.release)
 	if err != nil {
-		s.writeQueryError(w, r, err)
-		return
+		status, msg := s.queryErrorStatus(ctx, err)
+		return nil, status, msg
 	}
-	resp := distributionResponse{
+	resp := &distributionResponse{
 		Method:      string(m),
 		Interval:    sys.Params.IntervalOf(req.Depart),
 		MeanS:       res.Dist.Mean(),
@@ -401,71 +527,64 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 		pw := res.Dist.ProbWithin(req.Budget)
 		resp.ProbWithin = &pw
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp, http.StatusOK, ""
 }
 
-func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	var req routeRequest
-	if !s.readRequest(w, r, &req) {
-		return
-	}
-	sys := s.System()
-	m, err := s.validateRoute(w, sys.Graph, &req)
+// evalRoute validates and answers one budget-routing query; the
+// status contract matches evalDistribution.
+func (s *Server) evalRoute(ctx context.Context, sys *pathcost.System, req *routeRequest) (*routeResponse, int, string) {
+	m, err := checkRouteRequest(sys.Graph, req)
 	if err != nil {
-		return
+		return nil, http.StatusBadRequest, err.Error()
 	}
-	if !s.acquire(r) {
-		return
+	if !s.acquire(ctx) {
+		return nil, 0, ""
 	}
 	defer s.release() // deferred: a panicking evaluation must not leak the slot
 	res, err := sys.Route(pathcost.VertexID(req.Source), pathcost.VertexID(req.Dest),
 		req.Depart, req.Budget, m)
 	if err != nil {
-		s.writeQueryError(w, r, err)
-		return
+		status, msg := s.queryErrorStatus(ctx, err)
+		return nil, status, msg
 	}
-	s.writeJSON(w, http.StatusOK, routeResponse{
+	return &routeResponse{
 		Path:     edgeIDs(res.Path),
 		Prob:     res.Prob,
 		MeanS:    res.Dist.Mean(),
 		Explored: res.Explored,
 		Pruned:   res.Pruned,
 		EvalUS:   res.Elapsed.Microseconds(),
-	})
+	}, http.StatusOK, ""
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	var req topkRequest
-	if !s.readRequest(w, r, &req) {
-		return
-	}
-	sys := s.System()
-	m, err := s.validateRoute(w, sys.Graph, &req.routeRequest)
+// evalTopK validates and answers one top-k query; the status contract
+// matches evalDistribution.
+func (s *Server) evalTopK(ctx context.Context, sys *pathcost.System, req *topkRequest) (*topkResponse, int, string) {
+	m, err := checkRouteRequest(sys.Graph, &req.routeRequest)
 	if err != nil {
-		return
+		return nil, http.StatusBadRequest, err.Error()
 	}
 	if req.K < 1 || req.K > s.cfg.MaxTopK {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("k = %d out of range [1, %d]", req.K, s.cfg.MaxTopK))
-		return
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("k = %d out of range [1, %d]", req.K, s.cfg.MaxTopK)
 	}
-	if !s.acquire(r) {
-		return
+	if !s.acquire(ctx) {
+		return nil, 0, ""
 	}
 	defer s.release() // deferred: a panicking evaluation must not leak the slot
 	res, err := sys.TopKRoutes(pathcost.VertexID(req.Source), pathcost.VertexID(req.Dest),
 		req.Depart, req.Budget, req.K, m)
 	if err != nil {
-		s.writeQueryError(w, r, err)
-		return
+		status, msg := s.queryErrorStatus(ctx, err)
+		return nil, status, msg
 	}
-	out := topkResponse{Routes: make([]topkEntry, 0, len(res))}
+	out := &topkResponse{Routes: make([]topkEntry, 0, len(res))}
 	for _, r := range res {
 		out.Routes = append(out.Routes, topkEntry{
 			Path: edgeIDs(r.Path), Prob: r.Prob, MeanS: r.Dist.Mean(),
 		})
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	return out, http.StatusOK, ""
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -496,12 +615,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries: cst.Entries, Capacity: cst.Capacity, HitRate: cst.HitRate(),
 		}
 	}
+	if mst, ok := sys.ConvMemoStats(); ok {
+		resp.Memo = &cacheStatsJSON{
+			Hits: mst.Hits, Misses: mst.Misses, Evictions: mst.Evictions,
+			Entries: mst.Entries, Capacity: mst.Capacity, HitRate: mst.HitRate(),
+		}
+	}
 	s.writeJSONUncounted(w, http.StatusOK, resp)
 }
 
-// validateRoute shares the routing-request checks between /v1/route
-// and /v1/topk; on failure it has already written the 400.
-func (s *Server) validateRoute(w http.ResponseWriter, g *pathcost.Graph, req *routeRequest) (pathcost.Method, error) {
+// checkRouteRequest shares the routing-request checks between
+// /v1/route, /v1/topk and their batch twins; a non-nil error means a
+// 400 with the error's message.
+func checkRouteRequest(g *pathcost.Graph, req *routeRequest) (pathcost.Method, error) {
 	m, err := parseMethod(req.Method)
 	if err == nil {
 		err = checkDepart(req.Depart)
@@ -519,7 +645,6 @@ func (s *Server) validateRoute(w http.ResponseWriter, g *pathcost.Graph, req *ro
 		err = fmt.Errorf("budget %v must be > 0 seconds", req.Budget)
 	}
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
 		return "", err
 	}
 	return m, nil
@@ -554,30 +679,43 @@ func (s *Server) writeJSONUncounted(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeQueryError maps an evaluation failure to the right status:
-// a gate rejection means this request's own client vanished while
-// queued (nothing to write — PathDistributionGated already retries
-// rejections inherited from another request's leader, so the 503 arm
-// is a safety net); a leader panic shared by singleflight is a server
-// fault (500, details withheld); anything else is a
+// queryErrorStatus maps an evaluation failure to the right status:
+// a gate rejection means this caller's own client vanished while
+// queued (status 0, write nothing — PathDistributionGated already
+// retries rejections inherited from another request's leader, so the
+// 503 arm is a safety net); a leader panic shared by singleflight is
+// a server fault (500, details withheld); anything else is a
 // valid-but-unanswerable query (422, e.g. sparse coverage or an
 // unreachable destination).
-func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+func (s *Server) queryErrorStatus(ctx context.Context, err error) (int, string) {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// A follower unparked by its own dead request context; the
+		// A follower unparked by its own dead caller context; the
 		// semaphore was never touched, so account the shed load here.
 		s.abandoned.Add(1)
-		return
+		return 0, ""
 	case errors.Is(err, pathcost.ErrGateRejected):
-		if r.Context().Err() != nil {
-			return // our own client is gone; no one is listening
+		if ctx.Err() != nil {
+			return 0, "" // our own client is gone; no one is listening
 		}
-		s.writeError(w, http.StatusServiceUnavailable, "computation aborted, retry")
+		return http.StatusServiceUnavailable, "computation aborted, retry"
 	case errors.Is(err, cache.ErrLeaderPanic):
-		s.writeError(w, http.StatusInternalServerError, "internal error during computation")
+		return http.StatusInternalServerError, "internal error during computation"
 	default:
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return http.StatusUnprocessableEntity, err.Error()
+	}
+}
+
+// writeOutcome writes an eval helper's result: status 0 writes
+// nothing (the client is gone), 200 writes the response body, and
+// anything else writes the error envelope.
+func (s *Server) writeOutcome(w http.ResponseWriter, status int, msg string, resp any) {
+	switch {
+	case status == 0:
+	case status == http.StatusOK:
+		s.writeJSON(w, status, resp)
+	default:
+		s.writeError(w, status, msg)
 	}
 }
 

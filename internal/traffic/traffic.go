@@ -1,22 +1,3 @@
-// Package traffic is the microscopic travel-cost model behind the
-// synthetic trajectory workload. It substitutes for the real GPS
-// fleets of the paper (Aalborg D1, Beijing D2) by reproducing the
-// three statistical phenomena the paper's method exploits:
-//
-//   - complex, multi-modal travel-time distributions: each edge
-//     traversal happens in a FREE or CONGESTED regime with distinct
-//     cost levels, so per-edge and per-path distributions are mixtures
-//     rather than Gaussians (paper Figure 1(b));
-//   - dependence between the costs of edges in one trip: the regime
-//     evolves along the path as a Markov chain and a per-trip driver
-//     factor multiplies every edge, so adjacent-edge costs are
-//     positively correlated (paper Figure 4);
-//   - time-varying behaviour: congestion probability and severity
-//     follow a double-peaked (AM/PM) daily profile (paper Section 3.1's
-//     interval partitioning exists because of this).
-//
-// All randomness flows through the caller's *rand.Rand, so workloads
-// are reproducible from a seed.
 package traffic
 
 import (

@@ -1,0 +1,10 @@
+// Package trajgen synthesizes vehicle trajectory workloads over a road
+// network, substituting for the paper's real GPS fleets. Demand
+// follows a gravity model over zones with a pool of heavily repeated
+// commuter origin–destination pairs, departures follow a double-peaked
+// daily profile, routes come from per-trip perturbed shortest paths,
+// and per-edge travel costs come from the traffic model — so the
+// resulting collection exhibits the paper's skewed coverage
+// (Figure 3), inter-edge dependence (Figure 4) and time-varying,
+// multi-modal cost distributions (Figure 1(b)).
+package trajgen

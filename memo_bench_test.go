@@ -1,0 +1,117 @@
+package pathcost
+
+// Benchmarks for the incremental sub-path convolution engine: routing
+// and prefix-heavy distribution workloads with the memo off vs on.
+// Run with:
+//
+//	go test -bench 'Memo' -benchmem .
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+var (
+	memoBenchOnce sync.Once
+	memoBenchSys  *System
+	memoBenchErr  error
+)
+
+func memoBenchSystem(b *testing.B) *System {
+	b.Helper()
+	memoBenchOnce.Do(func() {
+		params := DefaultParams()
+		params.Beta = 20
+		params.MaxRank = 4
+		memoBenchSys, memoBenchErr = Synthesize(SynthesizeConfig{
+			Preset: "test", Trips: 6000, Seed: 9, Params: params,
+		})
+	})
+	if memoBenchErr != nil {
+		b.Fatal(memoBenchErr)
+	}
+	return memoBenchSys
+}
+
+func memoBenchOD(b *testing.B, sys *System) (VertexID, VertexID, float64) {
+	b.Helper()
+	src := VertexID(sys.Graph.NumVertices() / 3)
+	dists := sys.Graph.ShortestDistances(src, graph.FreeFlowWeight)
+	var dst VertexID = -1
+	best := 0.0
+	for v, d := range dists {
+		if VertexID(v) != src && d > best && d < 500 {
+			best = d
+			dst = VertexID(v)
+		}
+	}
+	if dst < 0 {
+		b.Skip("no reachable routing destination")
+	}
+	return src, dst, best * 2
+}
+
+// BenchmarkBestPathMemo measures the repeated-query routing hot path:
+// with the memo on, every DFS expansion after the first query is a
+// prefix lookup instead of a convolution.
+func BenchmarkBestPathMemo(b *testing.B) {
+	sys := memoBenchSystem(b)
+	src, dst, budget := memoBenchOD(b, sys)
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Route(src, dst, 8*3600, budget, OD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { sys.EnableConvMemo(0); run(b) })
+	b.Run("on", func(b *testing.B) { sys.EnableConvMemo(1 << 16); run(b) })
+}
+
+// BenchmarkTopKPathsMemo is the same comparison for top-k queries,
+// whose larger explored sets share even more prefixes.
+func BenchmarkTopKPathsMemo(b *testing.B) {
+	sys := memoBenchSystem(b)
+	src, dst, budget := memoBenchOD(b, sys)
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.TopKRoutes(src, dst, 8*3600, budget, 3, OD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { sys.EnableConvMemo(0); run(b) })
+	b.Run("on", func(b *testing.B) { sys.EnableConvMemo(1 << 16); run(b) })
+}
+
+// BenchmarkPathDistributionMemo measures a prefix-heavy distribution
+// workload (every prefix of long paths — the /v1/batch shape) with
+// the query cache off, isolating the convolution memo's contribution.
+func BenchmarkPathDistributionMemo(b *testing.B) {
+	sys := memoBenchSystem(b)
+	rnd := rand.New(rand.NewSource(4))
+	var paths []Path
+	for i := 0; i < 4; i++ {
+		p, err := sys.RandomQueryPath(12, rnd.Intn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := 2; n <= len(p); n += 2 {
+			paths = append(paths, p[:n])
+		}
+	}
+	sys.EnableQueryCache(0)
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := paths[i%len(paths)]
+			if _, err := sys.PathDistribution(p, 8*3600, OD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { sys.EnableConvMemo(0); run(b) })
+	b.Run("on", func(b *testing.B) { sys.EnableConvMemo(1 << 16); run(b) })
+}

@@ -99,8 +99,8 @@ func DefaultParams() Params { return core.DefaultParams() }
 //
 // A System is safe for concurrent use: any number of goroutines may
 // run PathDistribution, Route, TopKRoutes, GroundTruth and
-// QueryCacheStats simultaneously, and EnableQueryCache may be called
-// while queries are in flight. The exported fields are treated as
+// QueryCacheStats simultaneously, and EnableQueryCache and
+// EnableConvMemo may be called while queries are in flight. The exported fields are treated as
 // immutable after construction; to serve a newly trained model, build
 // a new System and swap the pointer (see internal/server.Server.Swap)
 // rather than mutating Hybrid or Router in place.
@@ -120,6 +120,13 @@ type System struct {
 	// flight collapses concurrent PathDistribution misses on one key
 	// into a single CostDistribution computation (anti-stampede).
 	flight cache.Flight[*QueryResult]
+
+	// convMemo, when non-nil, is the incremental sub-path convolution
+	// engine: a prefix-keyed memo of chain states shared between
+	// PathDistribution and the Router, so queries that extend an
+	// already-evaluated prefix cost one convolution step (or one
+	// lookup) instead of a full re-derivation. See EnableConvMemo.
+	convMemo atomic.Pointer[core.ConvMemo]
 
 	// computeProbe, when non-nil, is invoked once per underlying
 	// CostDistribution computation in PathDistribution. Test seam for
@@ -216,6 +223,45 @@ func (s *System) QueryCacheStats() (st CacheStats, ok bool) {
 		return CacheStats{}, false
 	}
 	return c.Stats(), true
+}
+
+// EnableConvMemo installs the incremental sub-path convolution engine:
+// a memo of at most capacity prefix chain states, keyed by (path
+// prefix, exact departure time, method, rank cap) and shared between
+// PathDistribution and the Router's BestPath/TopKPaths/SkylinePaths.
+// Evaluating a path then resumes from its longest already-seen prefix
+// — one convolution per new edge — and routing queries, batch-server
+// entries and distribution queries all feed one another's prefixes.
+//
+// Unlike the query cache (EnableQueryCache), the memo is exact:
+// results are byte-identical to unmemoized evaluation, because the
+// keys carry the exact departure time and the chain evaluator applies
+// exactly the operations the one-shot evaluator applies. Methods
+// without an incremental evaluator (RD) bypass the memo.
+//
+// capacity ≤ 0 removes the memo. Safe to call while queries are in
+// flight: the pointer swaps atomically and running queries finish
+// against whichever memo they started with. Calling it again starts
+// from an empty memo with fresh counters.
+func (s *System) EnableConvMemo(capacity int) {
+	if capacity <= 0 {
+		s.convMemo.Store(nil)
+		s.Router.SetMemo(nil)
+		return
+	}
+	m := core.NewConvMemo(capacity)
+	s.convMemo.Store(m)
+	s.Router.SetMemo(m)
+}
+
+// ConvMemoStats snapshots the convolution memo's hit/miss/eviction
+// counters; ok is false when no memo is enabled.
+func (s *System) ConvMemoStats() (st CacheStats, ok bool) {
+	m := s.convMemo.Load()
+	if m == nil {
+		return CacheStats{}, false
+	}
+	return m.Stats(), true
 }
 
 // queryKey is the cache identity of a distribution query: the path's
@@ -330,10 +376,15 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 }
 
 // compute runs one underlying estimation (the expensive step the
-// cache and singleflight both exist to avoid repeating).
+// cache and singleflight both exist to avoid repeating). With a
+// convolution memo enabled it resumes from the longest memoized
+// prefix of p; the answer is byte-identical either way.
 func (s *System) compute(p Path, depart float64, m Method) (*QueryResult, error) {
 	if s.computeProbe != nil {
 		s.computeProbe()
+	}
+	if mm := s.convMemo.Load(); mm != nil {
+		return s.Hybrid.CostDistributionMemo(mm, p, depart, core.QueryOptions{Method: m})
 	}
 	return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
 }

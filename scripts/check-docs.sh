@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Docs gate, run by CI and runnable locally: every internal package
+# must carry a doc.go (so godoc has a package overview to show), and
+# every relative markdown link in README.md and docs/ must resolve.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+for d in internal/*/; do
+    if [ ! -f "${d}doc.go" ]; then
+        echo "docs gate: ${d} has no doc.go (package overview required)"
+        fail=1
+    fi
+done
+
+# Relative-link check: extract [text](target) targets, drop external
+# URLs and pure anchors, strip #fragments, resolve against the linking
+# file's directory.
+for f in README.md docs/*.md; do
+    links=$(grep -o '\[[^]]*\]([^)#][^)]*)' "$f" | sed 's/.*(\(.*\))/\1/' || true)
+    for l in $links; do
+        case "$l" in
+        http://*|https://*|mailto:*) continue ;;
+        esac
+        target=${l%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$(dirname "$f")/$target" ] && [ ! -e "$target" ]; then
+            echo "docs gate: $f links to missing file: $target"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs gate: FAILED"
+    exit 1
+fi
+echo "docs gate: ok"
