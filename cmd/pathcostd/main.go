@@ -24,9 +24,15 @@
 //
 // See docs/API.md for the full endpoint reference.
 //
+// A model trained with a synopsis (cmd/pathcost -synopsis N
+// -save-model ...) boots warm: its pre-materialized sub-path states
+// load with the model and answer their queries with zero convolutions
+// from the first request (disable with -synopsis=false).
+//
 // Signals: SIGHUP re-reads -model from disk and hot-swaps it without
-// dropping requests (ignored in synthesized mode); SIGINT/SIGTERM
-// drain in-flight requests and exit.
+// dropping requests (ignored in synthesized mode), re-applying the
+// -synopsis choice to the fresh model; SIGINT/SIGTERM drain in-flight
+// requests and exit.
 package main
 
 import (
@@ -55,13 +61,14 @@ func main() {
 	modelFile := flag.String("model", "", "trained model file to serve (requires -network)")
 	cacheSize := flag.Int("cache", 4096, "query-distribution cache capacity in entries (0 = disabled); cached answers are shared per departure α-interval")
 	memoSize := flag.Int("memo", 4096, "sub-path convolution memo capacity in prefix states (0 = disabled); exact — memoized answers are byte-identical")
+	useSynopsis := flag.Bool("synopsis", true, "serve the offline sub-path synopsis embedded in -model, when present (false drops it after load)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluated queries (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pathcostd: ", log.LstdFlags)
 
-	sys, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, logger)
+	sys, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, *useSynopsis, logger)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -88,7 +95,7 @@ func main() {
 				logger.Printf("SIGHUP ignored: serving a synthesized model (no -model file to reload)")
 				continue
 			}
-			next, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, logger)
+			next, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, *useSynopsis, logger)
 			if err != nil {
 				logger.Printf("SIGHUP reload failed, keeping current model: %v", err)
 				continue
@@ -112,9 +119,11 @@ func main() {
 }
 
 // buildSystem loads network+model from files, or synthesizes a city
-// and trains on it.
+// and trains on it. A synopsis section embedded in the model file is
+// served when useSynopsis is true and dropped otherwise; either way a
+// SIGHUP reload re-applies the same choice to the fresh model.
 func buildSystem(preset string, trips int, seed int64, beta, alpha int,
-	networkFile, modelFile string, logger *log.Logger) (*pathcost.System, error) {
+	networkFile, modelFile string, useSynopsis bool, logger *log.Logger) (*pathcost.System, error) {
 	if modelFile != "" && networkFile == "" {
 		return nil, fmt.Errorf("-model requires -network")
 	}
@@ -150,5 +159,17 @@ func buildSystem(preset string, trips int, seed int64, beta, alpha int,
 		return nil, err
 	}
 	defer mf.Close()
-	return pathcost.LoadSystem(g, nil, mf)
+	sys, err := pathcost.LoadSystem(g, nil, mf)
+	if err != nil {
+		return nil, err
+	}
+	if st, ok := sys.SynopsisStats(); ok {
+		if useSynopsis {
+			logger.Printf("synopsis loaded: %d pre-materialized sub-paths (%d bytes)", st.Entries, st.Bytes)
+		} else {
+			sys.AttachSynopsis(nil)
+			logger.Printf("synopsis present in %s but dropped (-synopsis=false)", modelFile)
+		}
+	}
+	return sys, nil
 }

@@ -326,6 +326,12 @@ func (d *Decomposition) Validate(query graph.Path) error {
 			return fmt.Errorf("core: decomposition not ordered by start position")
 		}
 		prevPos = pos
+		if pos < 0 || pos >= len(query) {
+			// Checked separately from the overrun test below: on
+			// untrusted positions pos+Rank() can overflow and wrap
+			// negative, slipping past the bound into an index panic.
+			return fmt.Errorf("core: path %v starts outside the query (position %d)", v.Path, pos)
+		}
 		if pos+v.Rank() > len(query) {
 			return fmt.Errorf("core: path %v overruns the query", v.Path)
 		}

@@ -163,7 +163,10 @@ func histEntropy(hg *hist.Histogram) float64 {
 
 func multiEntropy(m *hist.Multi) float64 {
 	var e float64
-	m.ForEach(func(k hist.CellKey, pr float64) {
+	// Sorted order: float accumulation is not associative, so map-order
+	// iteration would make repeated entropy computations differ at the
+	// bit level between runs (see hist.Multi.Total).
+	m.ForEachSorted(func(k hist.CellKey, pr float64) {
 		if pr <= 0 {
 			return
 		}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"strconv"
-	"time"
 
 	"repro/internal/cache"
 	"repro/internal/graph"
@@ -105,59 +103,13 @@ func (h *HybridGraph) MemoExtendPath(m *ConvMemo, s *PathState, e graph.EdgeID) 
 // at a time, storing every intermediate prefix state so later queries
 // (longer paths, sibling branches, other batch entries) can resume
 // even deeper.
+//
+// The longest-prefix probe (in PathStateWith) Peeks during the scan
+// and Gets only the committed base, so one logical query counts one
+// hit or miss however deep the scan went; a concurrent eviction
+// between the Peek and the Get costs a stats blip, never a wrong base.
 func (h *HybridGraph) MemoPathState(m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*PathState, error) {
-	if len(p) == 0 {
-		return nil, fmt.Errorf("core: cannot evaluate an empty path")
-	}
-	if opt.Method == "" {
-		opt.Method = MethodOD
-	}
-	if m == nil || !memoizable(opt.Method) {
-		var st *PathState
-		var err error
-		for i, e := range p {
-			if i == 0 {
-				st, err = h.StartPath(e, t, opt)
-			} else {
-				st, err = h.ExtendPath(st, e)
-			}
-			if err != nil {
-				return nil, err
-			}
-		}
-		return st, nil
-	}
-	var st *PathState
-	base := 0
-	// Longest-prefix probe. Peek keeps the scan out of the hit/miss
-	// counters and its value is what we commit to — the follow-up Get
-	// only counts the logical hit and refreshes recency, so a
-	// concurrent eviction between the two calls costs a stats blip,
-	// never a wrong base.
-	for n := len(p); n >= 1; n-- {
-		key := memoKey(p[:n].Key(), t, opt)
-		if s, ok := m.lru.Peek(key); ok {
-			st, base = s, n
-			m.lru.Get(key)
-			break
-		}
-	}
-	if st == nil {
-		m.lru.Get(memoKey(p.Key(), t, opt)) // count the cold miss
-	}
-	var err error
-	for i := base; i < len(p); i++ {
-		if st == nil {
-			st, err = h.StartPath(p[0], t, opt)
-		} else {
-			st, err = h.ExtendPath(st, p[i])
-		}
-		if err != nil {
-			return nil, err
-		}
-		m.lru.Put(memoKey(p[:i+1].Key(), t, opt), st)
-	}
-	return st, nil
+	return h.PathStateWith(nil, m, p, t, opt)
 }
 
 // CostDistributionMemo is CostDistribution through the memo. Results
@@ -171,45 +123,5 @@ func (h *HybridGraph) MemoPathState(m *ConvMemo, p graph.Path, t float64, opt Qu
 // Timing in the result reflects only work this call actually did: a
 // deep prefix hit reports a near-zero JC, which is the point.
 func (h *HybridGraph) CostDistributionMemo(m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
-	if opt.Method == "" {
-		opt.Method = MethodOD
-	}
-	if m == nil || !memoizable(opt.Method) {
-		return h.CostDistribution(p, t, opt)
-	}
-	t0 := time.Now()
-	st, err := h.MemoPathState(m, p, t, opt)
-	if err != nil {
-		return nil, err
-	}
-	de := st.de
-	res := &QueryResult{
-		Decomp: de,
-		Stats:  EvalStats{Factors: len(de.Vars)},
-	}
-	if len(de.Vars) == 1 {
-		// Single-factor parity: Evaluate answers a fully covered query
-		// with the variable's own distribution, not the folded chain
-		// state — and skipping DistErr here leaves the state's lazy
-		// marginal unpaid on the short-path hot case.
-		v := de.Vars[0]
-		if v.Hist != nil {
-			res.Dist = v.Hist
-		} else {
-			out, err := v.Joint.SumHistogram(h.Params.MaxResultBuckets)
-			if err != nil {
-				return nil, err
-			}
-			res.Dist = out
-		}
-	} else {
-		dist, err := st.DistErr()
-		if err != nil {
-			return nil, err
-		}
-		res.Dist = dist
-	}
-	res.Stats.ResultBuckets = res.Dist.NumBuckets()
-	res.Timing = Timing{JC: time.Since(t0)}
-	return res, nil
+	return h.CostDistributionWith(nil, m, p, t, opt)
 }

@@ -19,6 +19,16 @@ const serialVersion = "hybridgraph-v1"
 // model can be trained once and served later. The road network is not
 // embedded; loading requires the same graph.
 func (h *HybridGraph) WriteModel(w io.Writer) error {
+	return h.WriteModelSynopsis(w, nil)
+}
+
+// WriteModelSynopsis is WriteModel plus an optional synopsis section:
+// the offline sub-path synopsis is trained with the model and ships
+// inside the same file, so the serving daemon loads pre-materialized
+// states at boot. A nil or empty synopsis writes a plain model file,
+// and readers predating the synopsis section only lose the synopsis —
+// the model records are unchanged.
+func (h *HybridGraph) WriteModelSynopsis(w io.Writer, syn *SynopsisStore) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, serialVersion)
 	p := h.Params
@@ -41,6 +51,11 @@ func (h *HybridGraph) WriteModel(w io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if syn != nil && syn.Len() > 0 {
+		if err := writeSynopsis(bw, syn); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -84,16 +99,26 @@ func writeVariable(bw *bufio.Writer, v *Variable) error {
 }
 
 // ReadHybrid deserializes a model written by WriteModel, re-binding it to
-// the given road network. Every variable path is validated against the
+// the given road network, and discarding any synopsis section (see
+// ReadHybridSynopsis). Every variable path is validated against the
 // graph so a mismatched network fails loudly instead of answering
 // nonsense.
 func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
+	h, _, err := ReadHybridSynopsis(r, g)
+	return h, err
+}
+
+// ReadHybridSynopsis deserializes a model plus its optional synopsis
+// section. Models written before the synopsis existed — or with a nil
+// synopsis — return a nil store; files carrying an unknown synopsis
+// version or a corrupt section fail with a descriptive error.
+func ReadHybridSynopsis(r io.Reader, g *graph.Graph) (*HybridGraph, *SynopsisStore, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	rd := &hybridReader{sc: sc}
 
 	if line, ok := rd.next(); !ok || line != serialVersion {
-		return nil, fmt.Errorf("core: not a %s file", serialVersion)
+		return nil, nil, fmt.Errorf("core: not a %s file", serialVersion)
 	}
 	h := &HybridGraph{
 		G:         g,
@@ -104,11 +129,11 @@ func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
 	// params
 	line, ok := rd.next()
 	if !ok {
-		return nil, fmt.Errorf("core: truncated model (params)")
+		return nil, nil, fmt.Errorf("core: truncated model (params)")
 	}
 	f := strings.Fields(line)
 	if len(f) != 11 || f[0] != "params" {
-		return nil, fmt.Errorf("core: bad params line %q", line)
+		return nil, nil, fmt.Errorf("core: bad params line %q", line)
 	}
 	p := DefaultParams()
 	p.AlphaMinutes = atoi(f[1])
@@ -122,17 +147,17 @@ func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
 	p.Auto.Folds = atoi(f[9])
 	p.GTThresholdS = atof(f[10])
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("core: model params invalid: %w", err)
+		return nil, nil, fmt.Errorf("core: model params invalid: %w", err)
 	}
 	h.Params = p
 	// stats
 	line, ok = rd.next()
 	if !ok {
-		return nil, fmt.Errorf("core: truncated model (stats)")
+		return nil, nil, fmt.Errorf("core: truncated model (stats)")
 	}
 	f = strings.Fields(line)
 	if len(f) < 5 || f[0] != "stats" {
-		return nil, fmt.Errorf("core: bad stats line %q", line)
+		return nil, nil, fmt.Errorf("core: bad stats line %q", line)
 	}
 	savedStats := BuildStats{
 		CoveredEdges:  atoi(f[1]),
@@ -145,22 +170,29 @@ func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
 	}
 	h.stats.VariablesByRank = make([]int, len(savedStats.VariablesByRank))
 
-	// variables
+	// variables, up to EOF or the optional synopsis section
+	var synHeader string
 	for {
 		line, ok := rd.next()
 		if !ok {
 			break
 		}
 		f := strings.Fields(line)
+		if strings.HasPrefix(f[0], "synopsis-") {
+			// Defer parsing until the model is complete: synopsis
+			// entries resolve factors against the loaded variables.
+			synHeader = line
+			break
+		}
 		if len(f) != 6 || f[0] != "var" {
-			return nil, fmt.Errorf("core: expected var line, got %q", line)
+			return nil, nil, fmt.Errorf("core: expected var line, got %q", line)
 		}
 		path, err := parsePathKey(f[1])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if !g.ValidPath(path) {
-			return nil, fmt.Errorf("core: model path %v is not valid in this graph", path)
+			return nil, nil, fmt.Errorf("core: model path %v is not valid in this graph", path)
 		}
 		v := &Variable{
 			Path:     path,
@@ -170,18 +202,18 @@ func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
 			TimeMax:  atof(f[5]),
 		}
 		if err := rd.readDistribution(v); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		h.addVariable(v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Cross-check the variable counts; other stats fields are not
 	// recomputable without the data, so trust the file.
 	for r := range savedStats.VariablesByRank {
 		if r < len(h.stats.VariablesByRank) && h.stats.VariablesByRank[r] != savedStats.VariablesByRank[r] {
-			return nil, fmt.Errorf("core: model corrupt: rank-%d count %d, file says %d",
+			return nil, nil, fmt.Errorf("core: model corrupt: rank-%d count %d, file says %d",
 				r+1, h.stats.VariablesByRank[r], savedStats.VariablesByRank[r])
 		}
 	}
@@ -189,7 +221,18 @@ func ReadHybrid(r io.Reader, g *graph.Graph) (*HybridGraph, error) {
 	h.stats.EdgesWithData = savedStats.EdgesWithData
 	h.stats.SupportTotal = savedStats.SupportTotal
 	sortRows(h)
-	return h, nil
+	var syn *SynopsisStore
+	if synHeader != "" {
+		var err error
+		syn, err = readSynopsis(rd, h, synHeader)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, syn, nil
 }
 
 func sortRows(h *HybridGraph) {
@@ -230,22 +273,36 @@ func (r *hybridReader) readDistribution(v *Variable) error {
 	f := strings.Fields(line)
 	switch f[0] {
 	case "h":
+		if len(f) < 2 {
+			return fmt.Errorf("core: bad histogram line for %v", v.Path)
+		}
 		n := atoi(f[1])
-		if len(f) != 2+3*n {
+		if n < 1 || n >= len(f) || len(f) != 2+3*n {
 			return fmt.Errorf("core: bad histogram line for %v", v.Path)
 		}
 		bs := make([]hist.Bucket, n)
 		for i := 0; i < n; i++ {
 			bs[i] = hist.Bucket{Lo: atof(f[2+3*i]), Hi: atof(f[3+3*i]), Pr: atof(f[4+3*i])}
 		}
-		hg, err := hist.FromBuckets(bs)
+		// Exact, not renormalizing: stored masses already sum to ≈1,
+		// and dividing by that almost-one total would perturb every
+		// bucket at the bit level — loaded models would then answer
+		// slightly differently than the process that trained them, and
+		// write→read→write would not reproduce the file.
+		hg, err := hist.FromBucketsExact(bs, 1e-6)
 		if err != nil {
 			return fmt.Errorf("core: %v: %w", v.Path, err)
 		}
 		v.Hist = hg
 		return nil
 	case "m":
+		if len(f) != 2 {
+			return fmt.Errorf("core: bad joint line for %v", v.Path)
+		}
 		dims := atoi(f[1])
+		if dims < 1 || dims > hist.MaxDims {
+			return fmt.Errorf("core: joint of %v has %d dims, range is [1,%d]", v.Path, dims, hist.MaxDims)
+		}
 		bounds := make([][]float64, dims)
 		for d := 0; d < dims; d++ {
 			line, ok := r.next()
@@ -253,11 +310,11 @@ func (r *hybridReader) readDistribution(v *Variable) error {
 				return fmt.Errorf("core: truncated bounds of %v", v.Path)
 			}
 			bf := strings.Fields(line)
-			if bf[0] != "b" {
+			if bf[0] != "b" || len(bf) < 2 {
 				return fmt.Errorf("core: expected bounds line for %v", v.Path)
 			}
 			n := atoi(bf[1])
-			if len(bf) != 2+n {
+			if n < 2 || len(bf) != 2+n {
 				return fmt.Errorf("core: bad bounds line for %v", v.Path)
 			}
 			bounds[d] = make([]float64, n)
@@ -278,6 +335,9 @@ func (r *hybridReader) readDistribution(v *Variable) error {
 			return fmt.Errorf("core: expected cell count for %v", v.Path)
 		}
 		count := atoi(cf[1])
+		if count < 1 {
+			return fmt.Errorf("core: bad cell count for %v", v.Path)
+		}
 		idx := make([]int, dims)
 		for i := 0; i < count; i++ {
 			line, ok := r.next()
@@ -290,10 +350,14 @@ func (r *hybridReader) readDistribution(v *Variable) error {
 			}
 			for d := 0; d < dims; d++ {
 				idx[d] = atoi(xf[d])
+				if idx[d] < 0 || idx[d] >= m.NumBuckets(d) {
+					return fmt.Errorf("core: cell index out of range for %v", v.Path)
+				}
 			}
 			m.SetCell(idx, atof(xf[dims]))
 		}
-		if err := m.Normalize(); err != nil {
+		// Validated, not renormalized — see the histogram case above.
+		if err := m.CheckNormalized(1e-6); err != nil {
 			return fmt.Errorf("core: %v: %w", v.Path, err)
 		}
 		v.Joint = m

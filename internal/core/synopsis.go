@@ -1,0 +1,512 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// SynopsisStore is the offline sub-path synopsis: a read-only set of
+// pre-materialized PathStates for the sub-paths a workload reuses
+// most, selected under an entry/byte budget and persisted with the
+// model (WriteModelSynopsis/ReadHybridSynopsis). Where the runtime
+// ConvMemo warms up lazily — every cold server start and every evicted
+// prefix pays full convolution cost again — the synopsis is trained
+// once, ships inside the model file, and answers its sub-paths with
+// zero convolutions from the first query onward.
+//
+// Entries are keyed exactly like memo entries: (path signature, exact
+// departure time, method, rank cap), so synopsis-backed answers are
+// byte-identical to unmemoized evaluation, never approximate. A store
+// is immutable after BuildSynopsis or load; the hit/miss counters are
+// atomic, so one store may serve any number of concurrent queries.
+type SynopsisStore struct {
+	opt     QueryOptions
+	entries map[string]*PathState
+	// keys lists the entry keys in sorted order so serialization and
+	// inspection are deterministic.
+	keys  []string
+	bytes int
+
+	report SynopsisReport
+
+	hits, misses atomic.Uint64
+}
+
+// WorkloadQuery is one observation of a query log (or one synthetic
+// stand-in): a path queried at a departure time, with an optional
+// multiplicity. BuildSynopsis scores candidate sub-paths by how much
+// convolution work across the whole workload they would absorb.
+type WorkloadQuery struct {
+	Path   graph.Path
+	Depart float64
+	// Weight is the query's multiplicity in the log; 0 counts as 1.
+	Weight int
+}
+
+// SynopsisConfig tunes the offline selection pass.
+type SynopsisConfig struct {
+	// MaxEntries is the entry budget (required, > 0).
+	MaxEntries int
+	// MaxBytes bounds the serialized size of the selected entries;
+	// 0 means unbounded. Candidates that would overflow the remaining
+	// byte budget are skipped, not truncated.
+	MaxBytes int
+	// Method and RankCap fix the query options the synopsis serves
+	// (entries only match queries with the same options). Method ""
+	// means OD; RD has no incremental evaluator and is rejected.
+	Method  Method
+	RankCap int
+	// MinDepth is the smallest prefix cardinality worth materializing
+	// (0 means 2: single-edge states save too little to spend budget
+	// on unless explicitly requested).
+	MinDepth int
+}
+
+// SynopsisReport summarizes one selection pass.
+type SynopsisReport struct {
+	// Queries is the number of distinct (path, depart) workload
+	// queries; Candidates the number of distinct candidate prefixes.
+	Queries, Candidates int
+	// Selected entries and their serialized Bytes.
+	Selected int
+	Bytes    int
+	// SavedSteps is the workload-weighted number of per-edge chain
+	// steps the selected entries absorb; TotalSteps is the workload's
+	// total (the upper bound a perfect synopsis would reach).
+	SavedSteps, TotalSteps int
+}
+
+// SynopsisStats is a point-in-time snapshot of a store's size and
+// probe counters.
+type SynopsisStats struct {
+	Entries int
+	Bytes   int
+	Hits    uint64
+	Misses  uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any probe.
+func (s SynopsisStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func newSynopsisStore(opt QueryOptions) *SynopsisStore {
+	return &SynopsisStore{opt: opt, entries: make(map[string]*PathState)}
+}
+
+// Len returns the number of materialized entries.
+func (s *SynopsisStore) Len() int { return len(s.entries) }
+
+// Bytes returns the serialized size of the store's entries.
+func (s *SynopsisStore) Bytes() int { return s.bytes }
+
+// Options returns the query options the store was built for.
+func (s *SynopsisStore) Options() QueryOptions { return s.opt }
+
+// Report returns the selection report (zero for loaded stores, whose
+// selection ran in the training process).
+func (s *SynopsisStore) Report() SynopsisReport { return s.report }
+
+// Stats snapshots the store's size and probe counters.
+func (s *SynopsisStore) Stats() SynopsisStats {
+	return SynopsisStats{
+		Entries: len(s.entries),
+		Bytes:   s.bytes,
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+	}
+}
+
+// Keys returns the entry keys in sorted order (for inspection).
+func (s *SynopsisStore) Keys() []string {
+	return append([]string(nil), s.keys...)
+}
+
+// peek looks an exact key up without touching the probe counters.
+func (s *SynopsisStore) peek(key string) (*PathState, bool) {
+	st, ok := s.entries[key]
+	return st, ok
+}
+
+// lookupKey is peek plus one hit-or-miss count — the single-probe
+// primitive behind StartPathWith/ExtendPathWith.
+func (s *SynopsisStore) lookupKey(key string) (*PathState, bool) {
+	st, ok := s.entries[key]
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return st, ok
+}
+
+// Lookup returns the materialized state for exactly path p departing
+// at t under opt, counting one probe.
+func (s *SynopsisStore) Lookup(p graph.Path, t float64, opt QueryOptions) (*PathState, bool) {
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	return s.lookupKey(memoKey(p.Key(), t, opt))
+}
+
+// add registers a materialized entry. Callers keep keys unique.
+func (s *SynopsisStore) add(key string, st *PathState, nbytes int) {
+	s.entries[key] = st
+	i := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys, "")
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = key
+	s.bytes += nbytes
+}
+
+// --- budgeted selection ----------------------------------------------
+
+// synCandidate is one candidate prefix: a sub-path some workload
+// queries share, with the query indexes it would serve.
+type synCandidate struct {
+	key     string
+	prefix  graph.Path
+	depart  float64
+	depth   int
+	queries []int
+}
+
+// candHeap is a max-heap over cached marginal scores, ties broken by
+// ascending key so selection is deterministic.
+type candHeap []*candHeapItem
+
+type candHeapItem struct {
+	c     *synCandidate
+	score int
+}
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].c.key < h[j].c.key
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(*candHeapItem)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BuildSynopsis runs the offline selection pass: it enumerates every
+// prefix of every workload query as a candidate, scores candidates by
+// the chain steps they would absorb (weight × prefix depth, the
+// frequency × convolution-depth-saved objective), and greedily selects
+// the best marginal candidate until the entry or byte budget is
+// exhausted. The marginal gain of a candidate shrinks as deeper
+// prefixes of the same queries are selected (a query resumes from its
+// deepest materialized prefix only), so selection uses a lazy greedy
+// over the submodular coverage objective: popped candidates are
+// re-scored against current coverage and re-queued unless they still
+// dominate.
+//
+// Selected prefixes are materialized through a build-local ConvMemo,
+// so overlapping candidates share their convolution work.
+func (h *HybridGraph) BuildSynopsis(workload []WorkloadQuery, cfg SynopsisConfig) (*SynopsisStore, error) {
+	opt := QueryOptions{Method: cfg.Method, RankCap: cfg.RankCap}
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if !memoizable(opt.Method) {
+		return nil, fmt.Errorf("core: method %q has no incremental evaluator; a synopsis cannot serve it", opt.Method)
+	}
+	if cfg.MaxEntries <= 0 {
+		return nil, fmt.Errorf("core: synopsis entry budget must be positive, got %d", cfg.MaxEntries)
+	}
+	minDepth := cfg.MinDepth
+	if minDepth <= 0 {
+		minDepth = 2
+	}
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("core: empty workload sample")
+	}
+
+	// Deduplicate the workload by exact (path, depart) identity.
+	type wq struct {
+		path   graph.Path
+		depart float64
+		weight int
+	}
+	qIndex := make(map[string]int)
+	var qs []wq
+	for _, q := range workload {
+		if !h.G.ValidPath(q.Path) {
+			return nil, fmt.Errorf("core: workload query %v is not a valid path", q.Path)
+		}
+		w := q.Weight
+		if w <= 0 {
+			w = 1
+		}
+		key := memoKey(q.Path.Key(), q.Depart, opt)
+		if i, ok := qIndex[key]; ok {
+			qs[i].weight += w
+			continue
+		}
+		qIndex[key] = len(qs)
+		qs = append(qs, wq{path: q.Path.Clone(), depart: q.Depart, weight: w})
+	}
+
+	// Candidate prefixes, with the queries each would serve.
+	cands := make(map[string]*synCandidate)
+	for qi, q := range qs {
+		for n := minDepth; n <= len(q.path); n++ {
+			key := memoKey(q.path[:n].Key(), q.depart, opt)
+			c, ok := cands[key]
+			if !ok {
+				c = &synCandidate{
+					key: key, prefix: q.path[:n].Clone(),
+					depart: q.depart, depth: n,
+				}
+				cands[key] = c
+			}
+			c.queries = append(c.queries, qi)
+		}
+	}
+
+	syn := newSynopsisStore(opt)
+	syn.report.Queries = len(qs)
+	syn.report.Candidates = len(cands)
+	for _, q := range qs {
+		syn.report.TotalSteps += q.weight * len(q.path)
+	}
+
+	// covered[qi] is the depth of the deepest selected prefix of query
+	// qi; a candidate's marginal gain is the extra depth it adds,
+	// workload-weighted.
+	covered := make([]int, len(qs))
+	marginal := func(c *synCandidate) int {
+		sum := 0
+		for _, qi := range c.queries {
+			if d := c.depth - covered[qi]; d > 0 {
+				sum += qs[qi].weight * d
+			}
+		}
+		return sum
+	}
+
+	pq := make(candHeap, 0, len(cands))
+	for _, c := range cands {
+		if s := marginal(c); s > 0 {
+			pq = append(pq, &candHeapItem{c: c, score: s})
+		}
+	}
+	heap.Init(&pq)
+
+	buildMemo := NewConvMemo(4 * cfg.MaxEntries)
+	for pq.Len() > 0 && len(syn.entries) < cfg.MaxEntries {
+		it := heap.Pop(&pq).(*candHeapItem)
+		fresh := marginal(it.c)
+		if fresh <= 0 {
+			continue
+		}
+		if pq.Len() > 0 && fresh < pq[0].score {
+			// Stale score: coverage grew since this candidate was
+			// queued. Cached scores only ever shrink, so re-queue with
+			// the fresh score and keep popping.
+			it.score = fresh
+			heap.Push(&pq, it)
+			continue
+		}
+		st, err := h.MemoPathState(buildMemo, it.c.prefix, it.c.depart, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: materializing synopsis entry %v: %w", it.c.prefix, err)
+		}
+		nbytes, err := synopsisEntryBytes(st)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MaxBytes > 0 && syn.bytes+nbytes > cfg.MaxBytes {
+			continue // over the byte budget: drop, try smaller candidates
+		}
+		syn.add(it.c.key, st, nbytes)
+		for _, qi := range it.c.queries {
+			if it.c.depth > covered[qi] {
+				covered[qi] = it.c.depth
+			}
+		}
+	}
+	for qi, q := range qs {
+		syn.report.SavedSteps += q.weight * covered[qi]
+	}
+	syn.report.Selected = len(syn.entries)
+	syn.report.Bytes = syn.bytes
+	return syn, nil
+}
+
+// --- synopsis-aware evaluation ---------------------------------------
+//
+// These are the Memo* evaluators with one extra probe layer: the
+// synopsis is consulted before the runtime ConvMemo (a synopsis hit
+// costs zero convolutions and no LRU traffic), and a synopsis prefix
+// composes with the memo — extensions beyond a synopsis base are
+// memoized as usual. Either store may be nil; with both nil the plain
+// evaluators run. The Memo* functions delegate here with a nil
+// synopsis, so all four call sites share one code path and memoized,
+// synopsis-backed and plain answers are byte-identical by
+// construction.
+
+// StartPathWith is StartPath through the synopsis then the memo.
+func (h *HybridGraph) StartPathWith(syn *SynopsisStore, m *ConvMemo, e graph.EdgeID, t float64, opt QueryOptions) (*PathState, error) {
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if syn != nil && memoizable(opt.Method) {
+		if s, ok := syn.lookupKey(memoKey((graph.Path{e}).Key(), t, opt)); ok {
+			return s, nil
+		}
+	}
+	return h.MemoStartPath(m, e, t, opt)
+}
+
+// ExtendPathWith is ExtendPath through the synopsis then the memo.
+func (h *HybridGraph) ExtendPathWith(syn *SynopsisStore, m *ConvMemo, s *PathState, e graph.EdgeID) (*PathState, error) {
+	if syn != nil && memoizable(s.opt.Method) {
+		np := make(graph.Path, len(s.path)+1)
+		copy(np, s.path)
+		np[len(s.path)] = e
+		if ns, ok := syn.lookupKey(memoKey(np.Key(), s.t, s.opt)); ok {
+			return ns, nil
+		}
+	}
+	return h.MemoExtendPath(m, s, e)
+}
+
+// PathStateWith evaluates path p departing at t, resuming from the
+// deepest prefix state either store holds. Per query it counts one
+// synopsis hit (the resumed base came from the synopsis) or one miss;
+// every state derived past the base is offered to the memo so later
+// queries resume deeper still.
+func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*PathState, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: cannot evaluate an empty path")
+	}
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if (syn == nil && m == nil) || !memoizable(opt.Method) {
+		var st *PathState
+		var err error
+		for i, e := range p {
+			if i == 0 {
+				st, err = h.StartPath(e, t, opt)
+			} else {
+				st, err = h.ExtendPath(st, e)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	var st *PathState
+	base := 0
+	synBase := false
+	// Longest-prefix probe across both stores; at equal depth the
+	// synopsis wins (no LRU traffic, and the answer is identical). The
+	// memo side peeks first and Gets only the committed base, exactly
+	// as MemoPathState does (see the comment there).
+	for n := len(p); n >= 1; n-- {
+		key := memoKey(p[:n].Key(), t, opt)
+		if syn != nil {
+			if s, ok := syn.peek(key); ok {
+				st, base, synBase = s, n, true
+				break
+			}
+		}
+		if m != nil {
+			if s, ok := m.lru.Peek(key); ok {
+				st, base = s, n
+				m.lru.Get(key)
+				break
+			}
+		}
+	}
+	if syn != nil {
+		if synBase {
+			syn.hits.Add(1)
+		} else {
+			syn.misses.Add(1)
+		}
+	}
+	if st == nil && m != nil {
+		m.lru.Get(memoKey(p.Key(), t, opt)) // count the cold miss
+	}
+	var err error
+	for i := base; i < len(p); i++ {
+		if st == nil {
+			st, err = h.StartPath(p[0], t, opt)
+		} else {
+			st, err = h.ExtendPath(st, p[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			m.lru.Put(memoKey(p[:i+1].Key(), t, opt), st)
+		}
+	}
+	return st, nil
+}
+
+// CostDistributionWith is CostDistribution through the synopsis and
+// the memo; see CostDistributionMemo for the byte-identity argument,
+// which applies unchanged (synopsis states were produced by the same
+// chain operations the memo stores).
+func (h *HybridGraph) CostDistributionWith(syn *SynopsisStore, m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
+	if opt.Method == "" {
+		opt.Method = MethodOD
+	}
+	if (syn == nil && m == nil) || !memoizable(opt.Method) {
+		return h.CostDistribution(p, t, opt)
+	}
+	t0 := time.Now()
+	st, err := h.PathStateWith(syn, m, p, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	de := st.de
+	res := &QueryResult{
+		Decomp: de,
+		Stats:  EvalStats{Factors: len(de.Vars)},
+	}
+	if len(de.Vars) == 1 {
+		// Single-factor parity with Evaluate; see CostDistributionMemo.
+		v := de.Vars[0]
+		if v.Hist != nil {
+			res.Dist = v.Hist
+		} else {
+			out, err := v.Joint.SumHistogram(h.Params.MaxResultBuckets)
+			if err != nil {
+				return nil, err
+			}
+			res.Dist = out
+		}
+	} else {
+		dist, err := st.DistErr()
+		if err != nil {
+			return nil, err
+		}
+		res.Dist = dist
+	}
+	res.Stats.ResultBuckets = res.Dist.NumBuckets()
+	res.Timing = Timing{JC: time.Since(t0)}
+	return res, nil
+}

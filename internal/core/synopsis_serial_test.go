@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// reloadModel writes h (and syn, possibly nil) to a buffer and reads
+// both back against g.
+func reloadModel(t *testing.T, h *HybridGraph, syn *SynopsisStore, g *graph.Graph) (*HybridGraph, *SynopsisStore) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := h.WriteModelSynopsis(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	h2, syn2, err := ReadHybridSynopsis(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h2, syn2
+}
+
+// buildFixtureSynopsis trains a model plus a synopsis over its full
+// query chain — the shared setup of the serialization tests.
+func buildFixtureSynopsis(t *testing.T) (*graph.Graph, *HybridGraph, *SynopsisStore) {
+	t.Helper()
+	g, data, params := table1Fixture(t)
+	h, err := Build(g, data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := graph.Path{0, 1, 2, 3, 4}
+	var workload []WorkloadQuery
+	for n := 2; n <= len(full); n++ {
+		workload = append(workload, WorkloadQuery{Path: full[:n], Depart: 8 * 3600})
+	}
+	syn, err := h.BuildSynopsis(workload, SynopsisConfig{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Len() == 0 {
+		t.Fatal("fixture synopsis is empty")
+	}
+	return g, h, syn
+}
+
+// Old-format files (no synopsis section) must load with a nil
+// synopsis — the backward-compatibility contract.
+func TestModelWithoutSynopsisLoadsEmpty(t *testing.T) {
+	g, data, params := table1Fixture(t)
+	h, err := Build(g, data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, syn, err := ReadHybridSynopsis(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn != nil {
+		t.Fatalf("plain model produced a synopsis: %+v", syn.Stats())
+	}
+	if h2.Stats().TotalVariables() != h.Stats().TotalVariables() {
+		t.Fatal("variables lost")
+	}
+}
+
+// New-format files must round-trip byte-identically: write → read →
+// write reproduces the file exactly, for the model records (whose
+// reader validates instead of renormalizing) and the synopsis section
+// (sorted entries, lossless floats) alike.
+func TestModelSynopsisRoundTripByteIdentical(t *testing.T) {
+	g, h, syn := buildFixtureSynopsis(t)
+	var buf1 bytes.Buffer
+	if err := h.WriteModelSynopsis(&buf1, syn); err != nil {
+		t.Fatal(err)
+	}
+	h2, syn2, err := ReadHybridSynopsis(bytes.NewReader(buf1.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn2 == nil || syn2.Len() != syn.Len() || syn2.Bytes() != syn.Bytes() {
+		t.Fatalf("synopsis changed across the round trip: %d/%d entries, %d/%d bytes",
+			synLen(syn2), syn.Len(), synBytes(syn2), syn.Bytes())
+	}
+	var buf2 bytes.Buffer
+	if err := h2.WriteModelSynopsis(&buf2, syn2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		a, b := buf1.String(), buf2.String()
+		line := 1
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("write→read→write differs at byte %d (line %d)", i, line)
+			}
+			if a[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("write→read→write differs in length: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// A plain model (no synopsis) must also round-trip byte-identically —
+// the lossless-reader guarantee is independent of the new section.
+func TestPlainModelRoundTripByteIdentical(t *testing.T) {
+	g, data, params := table1Fixture(t)
+	h, err := Build(g, data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := h.WriteModel(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHybrid(bytes.NewReader(buf1.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := h2.WriteModel(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("plain model write→read→write is not byte-identical")
+	}
+}
+
+func synLen(s *SynopsisStore) int {
+	if s == nil {
+		return -1
+	}
+	return s.Len()
+}
+
+func synBytes(s *SynopsisStore) int {
+	if s == nil {
+		return -1
+	}
+	return s.bytes
+}
+
+// Corrupting or truncating the synopsis section must produce a
+// descriptive error — never a panic, never a silently partial store.
+func TestSynopsisCorruptionErrors(t *testing.T) {
+	g, h, syn := buildFixtureSynopsis(t)
+	var buf bytes.Buffer
+	if err := h.WriteModelSynopsis(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	headerAt := strings.Index(good, synopsisVersion)
+	if headerAt < 0 {
+		t.Fatal("no synopsis section in fixture file")
+	}
+
+	cases := []struct {
+		name string
+		file string
+	}{
+		{"unknown version", strings.Replace(good, synopsisVersion, "synopsis-v99", 1)},
+		{"truncated after header", good[:headerAt+len(synopsisVersion)+8]},
+		{"truncated mid-entry", good[:headerAt+(len(good)-headerAt)/2]},
+		{"missing trailer", strings.Replace(good, "end-synopsis\n", "", 1)},
+		{"garbage entry count", regexpReplaceHeader(good, headerAt, "synopsis-v1 zork OD 0")},
+		{"negative entry count", regexpReplaceHeader(good, headerAt, "synopsis-v1 -3 OD 0")},
+		{"non-incremental method", regexpReplaceHeader(good, headerAt, regexpHeaderWithMethod(good, headerAt, "RD"))},
+		{"cell index out of range", replaceFirstCellIndex(good, headerAt)},
+		{"garbage depart", replaceFirstSynField(good, headerAt, 2, "not-a-number")},
+		{"factor not in model", replaceFirstFactorInterval(good, headerAt)},
+		{"factor position overflows", replaceFirstFactorPos(good, headerAt, "9223372036854775807")},
+		{"factor position negative", replaceFirstFactorPos(good, headerAt, "-1")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.file == good {
+				t.Fatal("mutation did not change the file")
+			}
+			_, _, err := ReadHybridSynopsis(strings.NewReader(tc.file), g)
+			if err == nil {
+				t.Fatal("corrupt synopsis loaded without error")
+			}
+			if len(err.Error()) < 10 {
+				t.Fatalf("error %q is not descriptive", err)
+			}
+		})
+	}
+}
+
+// regexpReplaceHeader swaps the synopsis header line for repl.
+func regexpReplaceHeader(file string, headerAt int, repl string) string {
+	end := strings.IndexByte(file[headerAt:], '\n')
+	return file[:headerAt] + repl + file[headerAt+end:]
+}
+
+// regexpHeaderWithMethod rewrites only the method field of the header.
+func regexpHeaderWithMethod(file string, headerAt int, method string) string {
+	end := strings.IndexByte(file[headerAt:], '\n')
+	f := strings.Fields(file[headerAt : headerAt+end])
+	f[2] = method
+	return strings.Join(f, " ")
+}
+
+// replaceFirstSynField rewrites field i of the first "syn" record.
+func replaceFirstSynField(file string, headerAt int, i int, repl string) string {
+	at := strings.Index(file[headerAt:], "\nsyn ")
+	if at < 0 {
+		return file
+	}
+	at += headerAt + 1
+	end := strings.IndexByte(file[at:], '\n')
+	f := strings.Fields(file[at : at+end])
+	f[i] = repl
+	return file[:at] + strings.Join(f, " ") + file[at+end:]
+}
+
+// replaceFirstCellIndex corrupts the first cell record of the first
+// chain state so its index exceeds the dimension's bucket count.
+func replaceFirstCellIndex(file string, headerAt int) string {
+	at := strings.Index(file[headerAt:], "\nc ")
+	if at < 0 {
+		return file
+	}
+	at += headerAt + 1
+	// Skip the "c <n>" line; the next line is the first cell.
+	nl := strings.IndexByte(file[at:], '\n')
+	cell := at + nl + 1
+	end := strings.IndexByte(file[cell:], '\n')
+	f := strings.Fields(file[cell : cell+end])
+	f[0] = "60000"
+	return file[:cell] + strings.Join(f, " ") + file[cell+end:]
+}
+
+// replaceFirstFactorPos rewrites the first factor's query position —
+// huge values used to overflow Decomposition.Validate's bound check
+// and panic instead of erroring.
+func replaceFirstFactorPos(file string, headerAt int, pos string) string {
+	for _, tag := range []string{"\nv ", "\nu "} {
+		at := strings.Index(file[headerAt:], tag)
+		if at < 0 {
+			continue
+		}
+		at += headerAt + 1
+		end := strings.IndexByte(file[at:], '\n')
+		f := strings.Fields(file[at : at+end])
+		f[1] = pos
+		return file[:at] + strings.Join(f, " ") + file[at+end:]
+	}
+	return file
+}
+
+// replaceFirstFactorInterval points the first trajectory-backed factor
+// at an interval the model does not hold.
+func replaceFirstFactorInterval(file string, headerAt int) string {
+	at := strings.Index(file[headerAt:], "\nv ")
+	if at < 0 {
+		return file
+	}
+	at += headerAt + 1
+	end := strings.IndexByte(file[at:], '\n')
+	f := strings.Fields(file[at : at+end])
+	f[3] = "424242"
+	return file[:at] + strings.Join(f, " ") + file[at+end:]
+}

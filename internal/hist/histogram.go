@@ -56,6 +56,36 @@ func FromBuckets(bs []Bucket) (*Histogram, error) {
 	return &Histogram{buckets: out}, nil
 }
 
+// FromBucketsExact is FromBuckets for already-normalized input: it
+// runs the same shape validation but keeps every probability exactly
+// as given instead of renormalizing, requiring the total mass to lie
+// within tol of one. Deserializers use it so that a load followed by
+// a save reproduces the input bytes — FromBuckets' renormalization
+// divides by a total that is only approximately one, perturbing every
+// value at the bit level.
+func FromBucketsExact(bs []Bucket, tol float64) (*Histogram, error) {
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("hist: no buckets")
+	}
+	var total float64
+	for i, b := range bs {
+		if !(b.Hi > b.Lo) {
+			return nil, fmt.Errorf("hist: bucket %d has non-positive width [%v,%v)", i, b.Lo, b.Hi)
+		}
+		if b.Pr < 0 || math.IsNaN(b.Pr) {
+			return nil, fmt.Errorf("hist: bucket %d has invalid probability %v", i, b.Pr)
+		}
+		if i > 0 && b.Lo < bs[i-1].Hi {
+			return nil, fmt.Errorf("hist: bucket %d overlaps or is out of order", i)
+		}
+		total += b.Pr
+	}
+	if math.Abs(total-1) > tol {
+		return nil, fmt.Errorf("hist: bucket mass %v is not normalized (tolerance %v)", total, tol)
+	}
+	return &Histogram{buckets: append([]Bucket(nil), bs...)}, nil
+}
+
 // MustFromBuckets is FromBuckets that panics on error; for fixtures
 // and generators whose inputs are known-valid by construction.
 func MustFromBuckets(bs []Bucket) *Histogram {

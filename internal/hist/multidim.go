@@ -194,6 +194,19 @@ func (m *Multi) Normalize() error {
 	return nil
 }
 
+// CheckNormalized verifies that the probability mass lies within tol
+// of one, without rescaling anything. Deserializers of
+// already-normalized joints use it instead of Normalize: dividing by
+// a total that is only approximately one would perturb every cell at
+// the bit level and break byte-identical round trips.
+func (m *Multi) CheckNormalized(tol float64) error {
+	t := m.Total()
+	if math.Abs(t-1) > tol {
+		return fmt.Errorf("hist: multi mass %v is not normalized (tolerance %v)", t, tol)
+	}
+	return nil
+}
+
 // Clone returns a deep copy.
 func (m *Multi) Clone() *Multi {
 	out, err := NewMulti(m.bounds)

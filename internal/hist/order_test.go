@@ -1,0 +1,158 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Unit tests for the ordering invariants that the deterministic-
+// serialization and bit-reproducibility guarantees rest on. These
+// previously held only transitively (equivalence tests comparing
+// whole pipelines); here they are pinned directly.
+
+// lexLess is the ordering ForEachSorted promises.
+func lexLess(a, b CellKey) bool {
+	for d := 0; d < MaxDims; d++ {
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return false
+}
+
+// orderTestMulti builds a 3-dimensional multi holding the given
+// cells, inserted in the order perm visits them.
+func orderTestMulti(t *testing.T, rnd *rand.Rand, cells []CellKey, prs []float64, perm []int) *Multi {
+	t.Helper()
+	bounds := [][]float64{
+		{0, 1, 2, 3, 4, 5},
+		{0, 10, 20, 30},
+		{0, 0.5, 1.5, 2.5, 4},
+	}
+	m, err := NewMulti(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range perm {
+		k := cells[i]
+		m.SetCell([]int{int(k[0]), int(k[1]), int(k[2])}, prs[i])
+	}
+	return m
+}
+
+// orderTestCells draws n distinct cell keys within the orderTestMulti grid,
+// with adversarial probabilities spanning 16 orders of magnitude so
+// any accumulation-order difference shows up in the sums.
+func orderTestCells(rnd *rand.Rand, n int) ([]CellKey, []float64) {
+	seen := make(map[CellKey]bool)
+	var cells []CellKey
+	var prs []float64
+	for len(cells) < n {
+		var k CellKey
+		k[0] = uint16(rnd.Intn(5))
+		k[1] = uint16(rnd.Intn(3))
+		k[2] = uint16(rnd.Intn(4))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cells = append(cells, k)
+		// Mix huge and tiny masses: (a + tiny) + tiny ≠ a + (tiny + tiny)
+		// in float64, so ordering bugs cannot hide.
+		if len(cells)%3 == 0 {
+			prs = append(prs, 1.0)
+		} else {
+			prs = append(prs, rnd.Float64()*1e-16)
+		}
+	}
+	return cells, prs
+}
+
+// INVARIANT: ForEachSorted visits occupied cells in strictly
+// increasing lexicographic key order, regardless of insertion order.
+func TestForEachSortedLexicographicOrder(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		cells, prs := orderTestCells(rnd, 12+rnd.Intn(20))
+		perm := rnd.Perm(len(cells))
+		m := orderTestMulti(t, rnd, cells, prs, perm)
+
+		var visited []CellKey
+		m.ForEachSorted(func(k CellKey, pr float64) {
+			visited = append(visited, k)
+		})
+		if len(visited) != len(cells) {
+			t.Fatalf("trial %d: visited %d cells, want %d", trial, len(visited), len(cells))
+		}
+		for i := 1; i < len(visited); i++ {
+			if !lexLess(visited[i-1], visited[i]) {
+				t.Fatalf("trial %d: visit order not strictly lexicographic at %d: %v !< %v",
+					trial, i, visited[i-1], visited[i])
+			}
+		}
+	}
+}
+
+// INVARIANT: the visit sequence — keys and values — is identical for
+// two multis holding the same cells inserted in different orders, so
+// every consumer of ForEachSorted (serialization, Total, marginals)
+// is insertion-order independent.
+func TestForEachSortedInsertionOrderIndependent(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		cells, prs := orderTestCells(rnd, 12+rnd.Intn(20))
+		a := orderTestMulti(t, rnd, cells, prs, rnd.Perm(len(cells)))
+		b := orderTestMulti(t, rnd, cells, prs, rnd.Perm(len(cells)))
+
+		type visit struct {
+			k  CellKey
+			pr float64
+		}
+		var va, vb []visit
+		a.ForEachSorted(func(k CellKey, pr float64) { va = append(va, visit{k, pr}) })
+		b.ForEachSorted(func(k CellKey, pr float64) { vb = append(vb, visit{k, pr}) })
+		if len(va) != len(vb) {
+			t.Fatalf("trial %d: %d vs %d visits", trial, len(va), len(vb))
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("trial %d: visit %d differs: %+v vs %+v", trial, i, va[i], vb[i])
+			}
+		}
+
+		// The derived accumulations must be bit-identical too.
+		if a.Total() != b.Total() {
+			t.Fatalf("trial %d: totals differ: %v vs %v", trial, a.Total(), b.Total())
+		}
+		ma, err1 := a.MarginalOnto([]int{1, 2})
+		mb, err2 := b.MarginalOnto([]int{1, 2})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		var sa, sb []visit
+		ma.ForEachSorted(func(k CellKey, pr float64) { sa = append(sa, visit{k, pr}) })
+		mb.ForEachSorted(func(k CellKey, pr float64) { sb = append(sb, visit{k, pr}) })
+		if len(sa) != len(sb) {
+			t.Fatalf("trial %d: marginal sizes differ", trial)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("trial %d: marginal cell %d differs bit-level: %+v vs %+v", trial, i, sa[i], sb[i])
+			}
+		}
+		ha, err1 := a.SumHistogram(0)
+		hb, err2 := b.SumHistogram(0)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		ba, bb := ha.Buckets(), hb.Buckets()
+		if len(ba) != len(bb) {
+			t.Fatalf("trial %d: sum histograms differ in size", trial)
+		}
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatalf("trial %d: sum histogram bucket %d differs: %+v vs %+v", trial, i, ba[i], bb[i])
+			}
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Router struct {
 	// convolution. Atomic so it can be installed or dropped while
 	// queries run.
 	memo atomic.Pointer[core.ConvMemo]
+
+	// synopsis, when non-nil, is the offline sub-path synopsis: it is
+	// probed before the memo on every DFS expansion, so prefixes
+	// materialized at training time cost zero convolutions from the
+	// first query after boot. Atomic for the same hot-swap reason.
+	synopsis atomic.Pointer[core.SynopsisStore]
 }
 
 // New creates a Router.
@@ -100,6 +106,15 @@ func (r *Router) MemoStats() (cache.Stats, bool) {
 	return m.Stats(), true
 }
 
+// SetSynopsis shares an offline synopsis store (possibly nil) with
+// this router — installed by pathcost.System so routing expansions
+// reuse the sub-path states persisted with the model. Synopsis-backed
+// expansions are byte-identical to computed ones.
+func (r *Router) SetSynopsis(s *core.SynopsisStore) { r.synopsis.Store(s) }
+
+// Synopsis returns the currently installed synopsis store, or nil.
+func (r *Router) Synopsis() *core.SynopsisStore { return r.synopsis.Load() }
+
 // BestPath runs the DFS budget query. It returns an error when the
 // destination is unreachable or no path satisfies the budget with
 // positive probability.
@@ -128,6 +143,7 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 	res := &Result{}
 	best := 0.0
 	memo := r.memo.Load()
+	syn := r.synopsis.Load()
 	visited := make(map[graph.VertexID]bool)
 	visited[q.Source] = true
 
@@ -158,9 +174,9 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 			var err error
 			if opt.Incremental {
 				if state == nil {
-					ns, err = r.h.MemoStartPath(memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
+					ns, err = r.h.StartPathWith(syn, memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
 				} else {
-					ns, err = r.h.MemoExtendPath(memo, state, eid)
+					ns, err = r.h.ExtendPathWith(syn, memo, state, eid)
 				}
 				if err == nil {
 					dist, err = ns.DistErr()

@@ -56,6 +56,7 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 
 	explored := 0
 	memo := r.memo.Load()
+	syn := r.synopsis.Load()
 	visited := make(map[graph.VertexID]bool)
 	visited[q.Source] = true
 
@@ -79,9 +80,9 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 			var ns *core.PathState
 			var err error
 			if state == nil {
-				ns, err = r.h.MemoStartPath(memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
+				ns, err = r.h.StartPathWith(syn, memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
 			} else {
-				ns, err = r.h.MemoExtendPath(memo, state, eid)
+				ns, err = r.h.ExtendPathWith(syn, memo, state, eid)
 			}
 			if err != nil {
 				return err

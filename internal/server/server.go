@@ -293,8 +293,9 @@ type statsResponse struct {
 	AlphaMinutes    int     `json:"alpha_minutes"`
 	Beta            int     `json:"beta"`
 
-	Cache *cacheStatsJSON `json:"cache,omitempty"`
-	Memo  *cacheStatsJSON `json:"memo,omitempty"`
+	Cache    *cacheStatsJSON    `json:"cache,omitempty"`
+	Memo     *cacheStatsJSON    `json:"memo,omitempty"`
+	Synopsis *synopsisStatsJSON `json:"synopsis,omitempty"`
 
 	UptimeS     float64 `json:"uptime_s"`
 	Served      uint64  `json:"served"`
@@ -311,6 +312,16 @@ type cacheStatsJSON struct {
 	Entries   int     `json:"entries"`
 	Capacity  int     `json:"capacity"`
 	HitRate   float64 `json:"hit_rate"`
+}
+
+// synopsisStatsJSON reports the offline sub-path synopsis loaded with
+// the model: entry count, serialized bytes, and probe effectiveness.
+type synopsisStatsJSON struct {
+	Entries int     `json:"entries"`
+	Bytes   int     `json:"bytes"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // --- validation helpers ----------------------------------------------
@@ -619,6 +630,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Memo = &cacheStatsJSON{
 			Hits: mst.Hits, Misses: mst.Misses, Evictions: mst.Evictions,
 			Entries: mst.Entries, Capacity: mst.Capacity, HitRate: mst.HitRate(),
+		}
+	}
+	if sst, ok := sys.SynopsisStats(); ok {
+		resp.Synopsis = &synopsisStatsJSON{
+			Entries: sst.Entries, Bytes: sst.Bytes,
+			Hits: sst.Hits, Misses: sst.Misses, HitRate: sst.HitRate(),
 		}
 	}
 	s.writeJSONUncounted(w, http.StatusOK, resp)

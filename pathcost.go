@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -70,6 +71,13 @@ type (
 	RouteResult = routing.Result
 	// CacheStats reports query-cache effectiveness (see EnableQueryCache).
 	CacheStats = cache.Stats
+	// WorkloadQuery is one query-log observation used to train the
+	// offline sub-path synopsis (see BuildSynopsis).
+	WorkloadQuery = core.WorkloadQuery
+	// SynopsisConfig tunes the synopsis selection pass.
+	SynopsisConfig = core.SynopsisConfig
+	// SynopsisStats reports synopsis size and probe effectiveness.
+	SynopsisStats = core.SynopsisStats
 )
 
 // Estimation methods (Section 5.2.2 of the paper).
@@ -127,6 +135,12 @@ type System struct {
 	// already-evaluated prefix cost one convolution step (or one
 	// lookup) instead of a full re-derivation. See EnableConvMemo.
 	convMemo atomic.Pointer[core.ConvMemo]
+
+	// synopsis, when non-nil, is the offline sub-path synopsis: a
+	// read-only store of pre-materialized prefix states trained with
+	// the model and persisted in its file, consulted before the
+	// runtime memo. See BuildSynopsis and AttachSynopsis.
+	synopsis atomic.Pointer[core.SynopsisStore]
 
 	// computeProbe, when non-nil, is invoked once per underlying
 	// CostDistribution computation in PathDistribution. Test seam for
@@ -264,6 +278,85 @@ func (s *System) ConvMemoStats() (st CacheStats, ok bool) {
 	return m.Stats(), true
 }
 
+// BuildSynopsis runs the offline synopsis selection pass over a
+// workload sample (a real query log or a synthetic stand-in — see
+// SyntheticWorkload), materializes the selected sub-path states under
+// the configured entry/byte budget, and attaches the store so
+// PathDistribution and the Router consult it. SaveModel then persists
+// it with the model, and LoadSystem re-attaches it at load — the
+// "train once, serve warm" shape: a freshly booted server answers the
+// synopsis's sub-paths with zero convolutions.
+func (s *System) BuildSynopsis(workload []WorkloadQuery, cfg SynopsisConfig) (*core.SynopsisStore, error) {
+	syn, err := s.Hybrid.BuildSynopsis(workload, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.AttachSynopsis(syn)
+	return syn, nil
+}
+
+// AttachSynopsis installs (or, with nil, removes) a synopsis store,
+// sharing it with the Router. Safe to call while queries are in
+// flight: the pointer swaps atomically and running queries finish
+// against whichever store they started with.
+func (s *System) AttachSynopsis(syn *core.SynopsisStore) {
+	s.synopsis.Store(syn)
+	s.Router.SetSynopsis(syn)
+}
+
+// Synopsis returns the attached synopsis store, or nil.
+func (s *System) Synopsis() *core.SynopsisStore { return s.synopsis.Load() }
+
+// SynopsisStats snapshots the synopsis's size and probe counters; ok
+// is false when no synopsis is attached.
+func (s *System) SynopsisStats() (st SynopsisStats, ok bool) {
+	syn := s.synopsis.Load()
+	if syn == nil {
+		return SynopsisStats{}, false
+	}
+	return syn.Stats(), true
+}
+
+// SyntheticWorkload samples a prefix-heavy query log: trunk paths of
+// the given cardinality found by random walk, each contributing its
+// prefixes of random depth ≥ 2, departing at times drawn from
+// departs. It stands in for a real query log when training a synopsis
+// (the shape mirrors what a router exploring candidates from a few
+// sources, or a fleet of commuters on shared corridors, produces).
+func (s *System) SyntheticWorkload(n, card int, seed int64, departs []float64) ([]WorkloadQuery, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pathcost: workload size %d must be ≥ 1", n)
+	}
+	if card < 2 {
+		card = 2
+	}
+	if len(departs) == 0 {
+		departs = []float64{8 * 3600}
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	trunks := n / 16
+	if trunks < 1 {
+		trunks = 1
+	}
+	pool := make([]Path, 0, trunks)
+	for len(pool) < trunks {
+		p, err := s.RandomQueryPath(card, rnd.Intn)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, p)
+	}
+	out := make([]WorkloadQuery, n)
+	for i := range out {
+		trunk := pool[rnd.Intn(len(pool))]
+		out[i] = WorkloadQuery{
+			Path:   trunk[:2+rnd.Intn(len(trunk)-1)],
+			Depart: departs[rnd.Intn(len(departs))],
+		}
+	}
+	return out, nil
+}
+
 // queryKey is the cache identity of a distribution query: the path's
 // canonical signature plus the departure α-interval and the method.
 func (s *System) queryKey(p Path, depart float64, m Method) string {
@@ -376,15 +469,19 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 }
 
 // compute runs one underlying estimation (the expensive step the
-// cache and singleflight both exist to avoid repeating). With a
-// convolution memo enabled it resumes from the longest memoized
-// prefix of p; the answer is byte-identical either way.
+// cache and singleflight both exist to avoid repeating). The synopsis
+// (offline, persisted) is consulted before the convolution memo
+// (runtime, lazy); either resumes evaluation from the deepest known
+// prefix of p, and the answer is byte-identical with both, either or
+// neither enabled.
 func (s *System) compute(p Path, depart float64, m Method) (*QueryResult, error) {
 	if s.computeProbe != nil {
 		s.computeProbe()
 	}
-	if mm := s.convMemo.Load(); mm != nil {
-		return s.Hybrid.CostDistributionMemo(mm, p, depart, core.QueryOptions{Method: m})
+	syn := s.synopsis.Load()
+	mm := s.convMemo.Load()
+	if syn != nil || mm != nil {
+		return s.Hybrid.CostDistributionWith(syn, mm, p, depart, core.QueryOptions{Method: m})
 	}
 	return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
 }
@@ -474,29 +571,36 @@ func (s *System) RandomQueryPath(n int, rnd func(int) int) (Path, error) {
 // by rank, coverage, storage).
 func (s *System) Stats() core.BuildStats { return s.Hybrid.Stats() }
 
-// SaveModel writes the trained hybrid graph to w; LoadSystem restores
-// it against the same road network. Training is the expensive step
-// (the paper reports minutes to 45 minutes on its fleets), so real
-// deployments train once and serve many queries.
+// SaveModel writes the trained hybrid graph to w — including the
+// attached synopsis, when one exists, in a versioned trailing section
+// — and LoadSystem restores both against the same road network.
+// Training is the expensive step (the paper reports minutes to 45
+// minutes on its fleets), so real deployments train once and serve
+// many queries.
 func (s *System) SaveModel(w io.Writer) error {
-	return s.Hybrid.WriteModel(w)
+	return s.Hybrid.WriteModelSynopsis(w, s.synopsis.Load())
 }
 
 // LoadSystem restores a saved model against the road network it was
-// trained on. data may be nil; it is only needed by GroundTruth and
-// DensePaths.
+// trained on; a synopsis section, when present, is loaded and
+// attached (AttachSynopsis(nil) detaches it). data may be nil; it is
+// only needed by GroundTruth and DensePaths.
 func LoadSystem(g *Graph, data *Collection, r io.Reader) (*System, error) {
-	h, err := core.ReadHybrid(r, g)
+	h, syn, err := core.ReadHybridSynopsis(r, g)
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	sys := &System{
 		Graph:  g,
 		Data:   data,
 		Hybrid: h,
 		Router: routing.New(h),
 		Params: h.Params,
-	}, nil
+	}
+	if syn != nil {
+		sys.AttachSynopsis(syn)
+	}
+	return sys, nil
 }
 
 // TopKRoutes answers the probabilistic top-k path query: the k best

@@ -1,0 +1,139 @@
+package pathcost
+
+import (
+	"bytes"
+	"testing"
+)
+
+// End-to-end synopsis flow over the public API: train, build a
+// synopsis from a workload sample, persist model+synopsis, load into
+// a fresh system, and verify the loaded system answers byte-for-byte
+// like the training process — with the synopsis actually being hit.
+func TestSynopsisSaveLoadEndToEnd(t *testing.T) {
+	params := DefaultParams()
+	params.Beta = 20
+	params.MaxRank = 4
+	sys, err := Synthesize(SynthesizeConfig{Preset: "test", Trips: 3000, Seed: 31, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload, err := sys.SyntheticWorkload(128, 8, 7, []float64{8 * 3600, 17 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := sys.BuildSynopsis(workload, SynopsisConfig{MaxEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Len() == 0 {
+		t.Fatal("empty synopsis from a prefix-heavy workload")
+	}
+	rep := syn.Report()
+	if rep.SavedSteps == 0 || rep.TotalSteps < rep.SavedSteps {
+		t.Fatalf("implausible selection report: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(sys.Graph, nil, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := loaded.SynopsisStats()
+	if !ok {
+		t.Fatal("loaded system has no synopsis attached")
+	}
+	if st.Entries != syn.Len() || st.Bytes != syn.Bytes() {
+		t.Fatalf("loaded synopsis %d entries/%d bytes, want %d/%d",
+			st.Entries, st.Bytes, syn.Len(), syn.Bytes())
+	}
+
+	// Reference answers from a synopsis-free, memo-free system.
+	sys.AttachSynopsis(nil)
+	for _, q := range workload {
+		want, err := sys.PathDistribution(q.Path, q.Depart, OD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.PathDistribution(q.Path, q.Depart, OD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, gb := want.Dist.Buckets(), got.Dist.Buckets()
+		if len(wb) != len(gb) {
+			t.Fatalf("bucket counts differ on %v", q.Path)
+		}
+		for i := range wb {
+			if wb[i] != gb[i] {
+				t.Fatalf("loaded synopsis answer differs at bucket %d on %v", i, q.Path)
+			}
+		}
+	}
+	if st, _ := loaded.SynopsisStats(); st.Hits == 0 {
+		t.Fatalf("workload replay never hit the loaded synopsis: %+v", st)
+	}
+
+	// Detaching removes it from queries and stats alike.
+	loaded.AttachSynopsis(nil)
+	if _, ok := loaded.SynopsisStats(); ok {
+		t.Fatal("stats still report a synopsis after detach")
+	}
+}
+
+// Routing through a synopsis-backed system must return the same route
+// as the synopsis-free system, while probing the store.
+func TestSynopsisRoutingEquivalence(t *testing.T) {
+	params := DefaultParams()
+	params.Beta = 20
+	params.MaxRank = 4
+	sys, err := Synthesize(SynthesizeConfig{Preset: "test", Trips: 3000, Seed: 31, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route once without any acceleration to fix the reference.
+	src := VertexID(3)
+	var dst VertexID = -1
+	for v := sys.Graph.NumVertices() - 1; v > 0; v-- {
+		if VertexID(v) != src {
+			if _, _, err := sys.Router.FastestPath(src, VertexID(v)); err == nil {
+				dst = VertexID(v)
+				break
+			}
+		}
+	}
+	if dst < 0 {
+		t.Skip("no reachable destination")
+	}
+	_, ff, err := sys.Router.FastestPath(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 2 * ff
+	want, err := sys.Route(src, dst, 8*3600, budget, OD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Synopsis over the reference route's prefixes: the DFS re-walks
+	// them, so probes must hit.
+	var workload []WorkloadQuery
+	for n := 2; n <= len(want.Path); n++ {
+		workload = append(workload, WorkloadQuery{Path: want.Path[:n], Depart: 8 * 3600})
+	}
+	if _, err := sys.BuildSynopsis(workload, SynopsisConfig{MaxEntries: 64}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Route(src, dst, 8*3600, budget, OD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Path.Equal(want.Path) || got.Prob != want.Prob {
+		t.Fatalf("synopsis-backed route differs: %v p=%v vs %v p=%v",
+			got.Path, got.Prob, want.Path, want.Prob)
+	}
+	if st, _ := sys.SynopsisStats(); st.Hits == 0 {
+		t.Fatalf("routing DFS never hit the synopsis: %+v", st)
+	}
+}
