@@ -1,0 +1,37 @@
+package pathcost
+
+import "testing"
+
+// warmMemoAllocBudget bounds the per-query allocations of a
+// PathDistribution answered from a warm convolution memo. The memoized
+// state already exists, its marginal is cached, and the candidate
+// array machinery is pooled, so a hit costs only the memo probe plus
+// the result wrapper. Measured ~8; the budget leaves headroom without
+// letting a per-cell or per-bucket allocation regression (which would
+// add tens to hundreds) slip through.
+const warmMemoAllocBudget = 32
+
+func TestPathDistributionWarmMemoAllocBudget(t *testing.T) {
+	sys, err := Synthesize(SynthesizeConfig{Preset: "test", Trips: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableConvMemo(1024)
+	dense := sys.DensePaths(3, 10)
+	if len(dense) == 0 {
+		t.Skip("no dense paths")
+	}
+	dp := dense[0]
+	lo, _ := sys.Params.IntervalBounds(dp.Interval)
+	if _, err := sys.PathDistribution(dp.Path, lo+60, OD); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if _, err := sys.PathDistribution(dp.Path, lo+60, OD); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > warmMemoAllocBudget {
+		t.Fatalf("warm-memo PathDistribution allocates %v per query, budget %d", n, warmMemoAllocBudget)
+	}
+}

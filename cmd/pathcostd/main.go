@@ -33,6 +33,13 @@
 // dropping requests (ignored in synthesized mode), re-applying the
 // -synopsis choice to the fresh model; SIGINT/SIGTERM drain in-flight
 // requests and exit.
+//
+// Profiling: -pprof <addr> exposes net/http/pprof on a separate
+// listener (off by default) so the convolution hot paths can be
+// profiled in production without touching the query port:
+//
+//	pathcostd -addr :8080 -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=15
 package main
 
 import (
@@ -40,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,9 +73,14 @@ func main() {
 	useSynopsis := flag.Bool("synopsis", true, "serve the offline sub-path synopsis embedded in -model, when present (false drops it after load)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluated queries (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pathcostd: ", log.LstdFlags)
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr, logger)
+	}
 
 	sys, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, *useSynopsis, logger)
 	if err != nil {
@@ -116,6 +130,22 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Printf("drained and stopped")
+}
+
+// servePprof runs the profiling endpoints on their own listener and
+// mux — never the query listener, and never the default mux, so the
+// debug surface cannot leak onto the serving port.
+func servePprof(addr string, logger *log.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("pprof listener failed: %v", err)
+	}
 }
 
 // buildSystem loads network+model from files, or synthesizes a city

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gps"
 	"repro/internal/graph"
@@ -83,6 +84,40 @@ type CandidateArray struct {
 	UIs  []TimeInterval
 }
 
+// caPool recycles candidate arrays: one is built and discarded per
+// query, and its row/interval slices dominate the per-query allocation
+// profile otherwise.
+var caPool = sync.Pool{New: func() any { return new(CandidateArray) }}
+
+// Release returns the candidate array to the internal pool. Call it
+// once the decomposition has been selected; decompositions stay valid
+// (they reference the model's variables, never the array). The array
+// must not be used after Release.
+func (ca *CandidateArray) Release() {
+	caPool.Put(ca)
+}
+
+// getCandidateArray returns a pooled array resized for an n-edge query
+// with empty rows.
+func getCandidateArray(n int) *CandidateArray {
+	ca := caPool.Get().(*CandidateArray)
+	if cap(ca.Rows) < n {
+		ca.Rows = make([]CandidateRow, n)
+	} else {
+		ca.Rows = ca.Rows[:n]
+		for k := range ca.Rows {
+			ca.Rows[k].Edge = 0
+			ca.Rows[k].Vars = ca.Rows[k].Vars[:0]
+		}
+	}
+	if cap(ca.UIs) < n {
+		ca.UIs = make([]TimeInterval, n)
+	} else {
+		ca.UIs = ca.UIs[:n]
+	}
+	return ca
+}
+
 // BuildCandidateArray computes the spatially and temporally relevant
 // instantiated variables for query path p departing at t
 // (Section 4.1.3). Row k always contains a rank-1 variable: the
@@ -92,10 +127,7 @@ func (h *HybridGraph) BuildCandidateArray(p graph.Path, t float64) (*CandidateAr
 	if !h.G.ValidPath(p) {
 		return nil, fmt.Errorf("core: query %v is not a valid path", p)
 	}
-	ca := &CandidateArray{
-		Rows: make([]CandidateRow, len(p)),
-		UIs:  make([]TimeInterval, len(p)),
-	}
+	ca := getCandidateArray(len(p))
 	// Updated departure intervals per Eq. 3, driven by the rank-1
 	// variables of the preceding edges.
 	ui := TimeInterval{Lo: t, Hi: t}
@@ -151,7 +183,10 @@ func (h *HybridGraph) BuildCandidateArray(p graph.Path, t float64) (*CandidateAr
 			}
 		}
 		if !hasUnit {
-			ca.Rows[k].Vars = append([]*Variable{h.fallbackVariable(p[k])}, ca.Rows[k].Vars...)
+			vars := append(ca.Rows[k].Vars, nil)
+			copy(vars[1:], vars)
+			vars[0] = h.fallbackVariable(p[k])
+			ca.Rows[k].Vars = vars
 		}
 		sortByRank(ca.Rows[k].Vars)
 	}
@@ -169,7 +204,7 @@ func sortByRank(vs []*Variable) {
 // bestUnitVariable picks the rank-1 variable of edge e whose interval
 // overlaps ui the most, falling back to the speed-limit variable.
 func (h *HybridGraph) bestUnitVariable(e graph.EdgeID, ui TimeInterval) *Variable {
-	pv, ok := h.vars[(graph.Path{e}).Key()]
+	pv, ok := h.unit[e]
 	if ok {
 		// Sorted iteration: overlap ties resolve to the earliest
 		// interval, deterministically (see BuildCandidateArray).
@@ -318,7 +353,15 @@ func (d *Decomposition) Validate(query graph.Path) error {
 	if len(d.Vars) == 0 {
 		return fmt.Errorf("core: empty decomposition")
 	}
-	covered := make([]bool, len(query))
+	// Typical queries fit the stack array; only pathological path
+	// lengths allocate.
+	var coveredArr [64]bool
+	var covered []bool
+	if len(query) <= len(coveredArr) {
+		covered = coveredArr[:len(query)]
+	} else {
+		covered = make([]bool, len(query))
+	}
 	prevPos := -1
 	for i, v := range d.Vars {
 		pos := d.Pos[i]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -69,6 +70,49 @@ type EvalStats struct {
 	MCDur         time.Duration // time spent deriving the marginal (Fig. 17's MC)
 }
 
+// evalScratch pools the transient buffers of one chain step — the
+// merge-join emission, the factor group runs and the fold arena — so
+// steady-state evaluation reuses warm buffers instead of allocating
+// per multiply/fold call. Result histograms copy out of the scratch
+// before it returns to the pool; nothing pooled escapes.
+type evalScratch struct {
+	keys    []hist.CellKey
+	probs   []float64
+	bounds  [][]float64
+	runs    []factorRun
+	folds   []cellFold
+	foldIdx []int
+	keepIdx []int
+	ivals   []hist.Bucket
+}
+
+// boundsScratch returns the scratch's bounds slice resized to n with
+// nil elements.
+func (sc *evalScratch) boundsScratch(n int) [][]float64 {
+	if cap(sc.bounds) < n {
+		sc.bounds = make([][]float64, n)
+	} else {
+		sc.bounds = sc.bounds[:n]
+	}
+	return sc.bounds
+}
+
+// accSeedBounds is the zero-width accumulator axis every chain starts
+// from; shared and immutable.
+var accSeedBounds = []float64{0, 1e-9}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// factorRun is one overlap group of the aligned factor: the contiguous
+// run of factor cells sharing the first nOv dimension indices (the
+// conditioning tuple), plus the group's probability mass — the Eq. 2
+// denominator, summed in storage order so it is bit-identical to the
+// overlap marginal the map-based kernel derived.
+type factorRun struct {
+	start, end int
+	div        float64
+}
+
 // Evaluate computes the estimated cost distribution of the query path
 // from a decomposition, per Equation 2 followed by the Section 4.2
 // marginalization: factors are applied left to right; before each new
@@ -108,6 +152,9 @@ func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histo
 	}
 	mc := time.Now()
 	out, err := state.m.SumHistogram(h.Params.MaxResultBuckets)
+	// The chain belonged to this evaluation alone (runChain recycled
+	// every intermediate state); the final state dies here too.
+	hist.PutMulti(state.m)
 	if err != nil {
 		return nil, st, err
 	}
@@ -125,6 +172,10 @@ func (h *HybridGraph) runChain(de *Decomposition, state *chainState, from int, s
 }
 
 func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from int, st *EvalStats, onStep func(i int, s *chainState)) (*chainState, error) {
+	// When the chain starts fresh and no observer keeps references to
+	// intermediate states, every state this loop creates dies as soon
+	// as the next one exists — recycle their histograms.
+	recycle := state == nil && from == 0 && onStep == nil
 	for i := from; i < len(de.Vars); i++ {
 		v := de.Vars[i]
 		fm, err := asMulti(v)
@@ -132,6 +183,7 @@ func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from i
 			return nil, err
 		}
 		positions := factorPositions(de, i)
+		prev := state
 		if state == nil {
 			state, err = initialState(fm, positions)
 		} else {
@@ -140,14 +192,21 @@ func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from i
 		if err != nil {
 			return nil, err
 		}
+		if recycle && prev != nil {
+			hist.PutMulti(prev.m)
+		}
 		if onStep != nil {
 			onStep(i, state)
 		}
 		keep := overlapWithNext(de, i)
-		state, err = state.foldTo(keep, h.Params.MaxAccBuckets)
+		folded, err := state.foldTo(keep, h.Params.MaxAccBuckets)
 		if err != nil {
 			return nil, err
 		}
+		if recycle {
+			hist.PutMulti(state.m)
+		}
+		state = folded
 	}
 	return state, nil
 }
@@ -176,25 +235,40 @@ func overlapWithNext(de *Decomposition, i int) []int {
 }
 
 // initialState wraps a factor as a chain state with a zero-width
-// accumulator and all factor dims open.
+// accumulator and all factor dims open. The factor's sorted cells map
+// to state cells by prepending the accumulator index 0, which keeps
+// them sorted, so the state is built columnar in one pass.
 func initialState(fm *hist.Multi, positions []int) (*chainState, error) {
-	bounds := make([][]float64, 1+fm.Dims())
-	bounds[0] = []float64{0, 1e-9}
-	for d := 0; d < fm.Dims(); d++ {
+	dims := fm.Dims()
+	if 1+dims > hist.MaxDims {
+		return nil, fmt.Errorf("hist: %d dimensions out of range [1,%d]", 1+dims, hist.MaxDims)
+	}
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+	bounds := sc.boundsScratch(1 + dims)
+	bounds[0] = accSeedBounds
+	for d := 0; d < dims; d++ {
 		bounds[1+d] = fm.Bounds(d)
 	}
-	m, err := hist.NewMulti(bounds)
+	fKeys, fProbs := fm.Cells()
+	keys := sc.keys[:0]
+	probs := sc.probs[:0]
+	for i, k := range fKeys {
+		if fProbs[i] == 0 {
+			continue
+		}
+		var nk hist.CellKey
+		for d := 0; d < dims; d++ {
+			nk[1+d] = k[d]
+		}
+		keys = append(keys, nk)
+		probs = append(probs, fProbs[i])
+	}
+	sc.keys, sc.probs = keys, probs
+	m, err := hist.NewMultiFromCells(bounds, keys, probs)
 	if err != nil {
 		return nil, err
 	}
-	idxBuf := make([]int, 1+fm.Dims())
-	fm.ForEach(func(k hist.CellKey, pr float64) {
-		idxBuf[0] = 0
-		for d := 0; d < fm.Dims(); d++ {
-			idxBuf[1+d] = int(k[d])
-		}
-		m.SetCell(idxBuf, pr)
-	})
 	return &chainState{m: m, open: positions}, nil
 }
 
@@ -203,9 +277,18 @@ func initialState(fm *hist.Multi, positions []int) (*chainState, error) {
 // has all factor dims open. With an empty overlap this is the
 // independent outer product.
 //
+// The kernel is a merge-join over the two sorted cell arrays: the
+// aligned factor's cells group into contiguous runs by their overlap
+// prefix (with each run's mass — the Eq. 2 denominator — summed in
+// storage order), each state cell binary-searches its run, and the
+// emitted product cells come out already in sorted order, so the
+// result is assembled columnar with no group maps, no hashing and no
+// per-cell closures. All float operations replicate the map-based
+// kernel's sequence exactly, so results are bit-identical to it.
+//
 // multiply never mutates the receiver: chain states are shared — a DFS
 // parent is extended along many siblings, and the convolution memo
-// hands one state to concurrent queries — so the remapped copies below
+// hands one state to concurrent queries — so the remapped views below
 // must stay local. (A receiver write here would also make results
 // depend on sibling evaluation order, breaking the memo-on/memo-off
 // byte-identity guarantee.)
@@ -215,11 +298,207 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	if len(ovIdxF) != len(overlap) {
 		return nil, fmt.Errorf("core: state open dims %v not contained in factor positions %v", overlap, positions)
 	}
+	for i, fd := range ovIdxF {
+		if fd != i {
+			// Chain evaluation always overlaps on a leading prefix of
+			// the factor (overlaps are path prefixes); keep the
+			// reference kernel for the general case.
+			return s.multiplyRef(fm, positions, st)
+		}
+	}
+	if 1+fm.Dims() > hist.MaxDims {
+		return nil, fmt.Errorf("hist: %d dimensions out of range [1,%d]", 1+fm.Dims(), hist.MaxDims)
+	}
 
 	// Align overlap dimensions on a shared grid. The two sides may
 	// disagree about the cost support (they come from different
 	// trajectory sets), so a union remap — not a refinement — is
-	// required for cell indices to be comparable.
+	// required for cell indices to be comparable. The union and the
+	// translation tables are derived once per dimension; when the
+	// supports already agree (the common case) the remap is the
+	// identity and the histograms pass through untouched.
+	sm := s.m
+	fmAligned := fm
+	var err error
+	for i := range overlap {
+		sd, fd := 1+i, i
+		union := hist.UnionBounds(sm.Bounds(sd), fmAligned.Bounds(fd))
+		prevS, prevF := sm, fmAligned
+		sm, err = sm.RemapDim(sd, union)
+		if err != nil {
+			return nil, err
+		}
+		if prevS != s.m && prevS != sm {
+			hist.PutMulti(prevS) // intermediate alignment view, now dead
+		}
+		fmAligned, err = fmAligned.RemapDim(fd, union)
+		if err != nil {
+			return nil, err
+		}
+		if prevF != fm && prevF != fmAligned {
+			hist.PutMulti(prevF)
+		}
+	}
+
+	fKeys, fProbs := fmAligned.Cells()
+	sKeys, sProbs := sm.Cells()
+	nOv := len(overlap)
+	dims := fmAligned.Dims()
+
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+
+	// Group the aligned factor's cells into contiguous overlap runs.
+	runs := sc.runs[:0]
+	for i := 0; i < len(fKeys); {
+		j := i + 1
+		for j < len(fKeys) && samePrefix(fKeys[i], fKeys[j], nOv) {
+			j++
+		}
+		var div float64
+		if nOv == 0 {
+			// No conditioning: the independent outer product divides by
+			// nothing (the run covers every factor cell).
+			div = 1
+		} else {
+			for c := i; c < j; c++ {
+				div += fProbs[c]
+			}
+		}
+		runs = append(runs, factorRun{start: i, end: j, div: div})
+		i = j
+	}
+	sc.runs = runs
+
+	// Merge-join: state cells are sorted by (acc, overlap...), runs by
+	// overlap, and each emitted product key (acc, factor dims...) is
+	// strictly larger than its predecessor — the result arrays are born
+	// sorted.
+	resKeys := sc.keys[:0]
+	resProbs := sc.probs[:0]
+	for ci, sk := range sKeys {
+		spr := sProbs[ci]
+		run, ok := findRun(fKeys, runs, sk, nOv)
+		if !ok {
+			// The factor assigns zero probability to this overlap
+			// region; the state mass there is dropped (renormalized
+			// later), mirroring conditioning on a measure-zero event.
+			continue
+		}
+		if nOv > 0 && run.div <= 0 {
+			continue
+		}
+		for c := run.start; c < run.end; c++ {
+			if st != nil {
+				st.CellsTouched++
+			}
+			v := spr * fProbs[c] / run.div
+			if v == 0 {
+				// The map-based kernel's SetCell dropped exact zeros.
+				continue
+			}
+			var nk hist.CellKey
+			nk[0] = sk[0]
+			fk := fKeys[c]
+			for d := 0; d < dims; d++ {
+				nk[1+d] = fk[d]
+			}
+			resKeys = append(resKeys, nk)
+			resProbs = append(resProbs, v)
+		}
+	}
+	sc.keys, sc.probs = resKeys, resProbs
+
+	// Result dims: acc + all factor dims (in factor order).
+	bounds := sc.boundsScratch(1 + dims)
+	bounds[0] = sm.Bounds(0)
+	for d := 0; d < dims; d++ {
+		bounds[1+d] = fmAligned.Bounds(d)
+	}
+	res, err := hist.NewMultiFromCells(bounds, resKeys, resProbs)
+	// The remapped alignment views die here; their buffers recycle.
+	// (res copied the cells and shares only their per-dim boundary
+	// slices, which PutMulti leaves alone.)
+	if sm != s.m {
+		hist.PutMulti(sm)
+	}
+	if fmAligned != fm {
+		hist.PutMulti(fmAligned)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Normalize(); err != nil {
+		return nil, err
+	}
+	return &chainState{m: res, open: positions}, nil
+}
+
+// samePrefix reports whether a and b agree on their first n dims.
+func samePrefix(a, b hist.CellKey, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findRun binary-searches the factor run whose overlap prefix matches
+// the state cell's open dims (state dims 1..nOv).
+func findRun(fKeys []hist.CellKey, runs []factorRun, sk hist.CellKey, nOv int) (factorRun, bool) {
+	if len(runs) == 0 {
+		return factorRun{}, false
+	}
+	if nOv == 0 {
+		return runs[0], true
+	}
+	lo, hi := 0, len(runs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if overlapLess(fKeys[runs[mid].start], sk, nOv) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(runs) && overlapMatches(fKeys[runs[lo].start], sk, nOv) {
+		return runs[lo], true
+	}
+	return factorRun{}, false
+}
+
+// overlapLess orders a factor key's leading nOv dims against a state
+// key's open dims (state dim 1+i carries overlap dim i).
+func overlapLess(fk, sk hist.CellKey, nOv int) bool {
+	for i := 0; i < nOv; i++ {
+		if fk[i] != sk[1+i] {
+			return fk[i] < sk[1+i]
+		}
+	}
+	return false
+}
+
+func overlapMatches(fk, sk hist.CellKey, nOv int) bool {
+	for i := 0; i < nOv; i++ {
+		if fk[i] != sk[1+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// multiplyRef is the pre-columnar reference kernel: group maps and
+// per-cell dispatch over the same float sequence. It survives as the
+// fallback for non-prefix overlaps (unreachable from chain evaluation)
+// and as the differential oracle the kernel tests compare against.
+func (s *chainState) multiplyRef(fm *hist.Multi, positions []int, st *EvalStats) (*chainState, error) {
+	overlap := s.open
+	ovIdxF := indexOf(positions, overlap)
+	if len(ovIdxF) != len(overlap) {
+		return nil, fmt.Errorf("core: state open dims %v not contained in factor positions %v", overlap, positions)
+	}
+
 	sm := s.m
 	fmAligned := fm
 	var err error
@@ -278,9 +557,6 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 		}
 		cells := groups[gk]
 		if len(cells) == 0 {
-			// The factor assigns zero probability to this overlap
-			// region; the state mass there is dropped (renormalized
-			// later), mirroring conditioning on a measure-zero event.
 			return
 		}
 		div := 1.0
@@ -313,8 +589,10 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 // foldTo folds all open dims except keep into the accumulator and
 // re-buckets the accumulator axis to at most maxAcc buckets.
 func (s *chainState) foldTo(keep []int, maxAcc int) (*chainState, error) {
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
 	// State-dim indexes of the kept positions (dim 0 is the acc).
-	keepIdx := make([]int, 0, len(keep))
+	keepIdx := sc.keepIdx[:0]
 	for _, q := range keep {
 		found := false
 		for j, p := range s.open {
@@ -328,11 +606,12 @@ func (s *chainState) foldTo(keep []int, maxAcc int) (*chainState, error) {
 			return nil, fmt.Errorf("core: keep position %d not open (open: %v)", q, s.open)
 		}
 	}
-	folds, nKept, err := foldCells(s.m, keepIdx)
+	sc.keepIdx = keepIdx
+	folds, nKept, err := foldCellsInto(sc, s.m, keepIdx)
 	if err != nil {
 		return nil, err
 	}
-	m, err := assembleState(s.m, folds, nKept, keepIdx, maxAcc)
+	m, err := assembleState(sc, s.m, folds, nKept, keepIdx, maxAcc)
 	if err != nil {
 		return nil, err
 	}
@@ -364,32 +643,61 @@ type cellFold struct {
 // foldCells folds a Multi's non-kept dims into accumulated-cost
 // intervals (an existing accumulator dim, when present, is simply not
 // listed in keepIdx and its bucket bounds join the interval sums).
-// Sorted iteration keeps the fold order — and therefore the float
-// accumulation downstream in accCuts/distributeFolds — reproducible.
+// The columnar scan runs in storage order — sorted cell-key order —
+// which keeps the fold order, and therefore the float accumulation
+// downstream in accCuts/distributeFolds, reproducible.
 func foldCells(m *hist.Multi, keepIdx []int) ([]cellFold, int, error) {
-	keepSet := make(map[int]bool, len(keepIdx))
+	return foldCellsInto(nil, m, keepIdx)
+}
+
+// foldCellsInto is foldCells writing into pooled scratch when sc is
+// non-nil: the folds slice and the shared index arena come from the
+// pool, so a warm fold allocates nothing.
+func foldCellsInto(sc *evalScratch, m *hist.Multi, keepIdx []int) ([]cellFold, int, error) {
+	keys, probs := m.Cells()
+	if len(keys) == 0 {
+		return nil, 0, fmt.Errorf("core: folding an empty joint")
+	}
+	var keep [hist.MaxDims]bool
 	for _, d := range keepIdx {
-		keepSet[d] = true
+		keep[d] = true
 	}
 	var folds []cellFold
-	m.ForEachSorted(func(k hist.CellKey, pr float64) {
+	var arena []int
+	need := len(keys) * len(keepIdx)
+	if sc != nil {
+		if cap(sc.folds) < len(keys) {
+			sc.folds = make([]cellFold, 0, len(keys))
+		}
+		if cap(sc.foldIdx) < need {
+			sc.foldIdx = make([]int, 0, need)
+		}
+		folds, arena = sc.folds[:0], sc.foldIdx[:0]
+	} else {
+		folds = make([]cellFold, 0, len(keys))
+		arena = make([]int, 0, need)
+	}
+	// arena has full capacity up front so the idx sub-slices below
+	// never dangle on growth.
+	dims := m.Dims()
+	for i, k := range keys {
 		var lo, hi float64
-		for d := 0; d < m.Dims(); d++ {
-			if keepSet[d] {
+		for d := 0; d < dims; d++ {
+			if keep[d] {
 				continue
 			}
 			l, u := m.BucketRange(d, int(k[d]))
 			lo += l
 			hi += u
 		}
-		idx := make([]int, len(keepIdx))
-		for i, d := range keepIdx {
-			idx[i] = int(k[d])
+		base := len(arena)
+		for _, d := range keepIdx {
+			arena = append(arena, int(k[d]))
 		}
-		folds = append(folds, cellFold{lo: lo, hi: hi, idx: idx, pr: pr})
-	})
-	if len(folds) == 0 {
-		return nil, 0, fmt.Errorf("core: folding an empty joint")
+		folds = append(folds, cellFold{lo: lo, hi: hi, idx: arena[base:len(arena):len(arena)], pr: probs[i]})
+	}
+	if sc != nil {
+		sc.folds, sc.foldIdx = folds, arena
 	}
 	return folds, len(keepIdx), nil
 }
@@ -397,17 +705,17 @@ func foldCells(m *hist.Multi, keepIdx []int) ([]cellFold, int, error) {
 // assembleState builds the state Multi (dim 0 = acc, then kept dims of
 // src in keepIdx order) from folded cells, re-bucketing the acc axis
 // to at most maxAcc buckets.
-func assembleState(src *hist.Multi, folds []cellFold, nKept int, keepIdx []int, maxAcc int) (*hist.Multi, error) {
-	cuts, err := accCuts(folds, maxAcc)
+func assembleState(sc *evalScratch, src *hist.Multi, folds []cellFold, nKept int, keepIdx []int, maxAcc int) (*hist.Multi, error) {
+	cuts, err := accCuts(sc, folds, maxAcc)
 	if err != nil {
 		return nil, err
 	}
-	bounds := make([][]float64, 1+nKept)
+	bounds := sc.boundsScratch(1 + nKept)
 	bounds[0] = cuts
 	for i, d := range keepIdx {
 		bounds[1+i] = src.Bounds(d)
 	}
-	out, err := hist.NewMulti(bounds)
+	out, err := hist.NewMultiFromCells(bounds, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -420,9 +728,20 @@ func assembleState(src *hist.Multi, folds []cellFold, nKept int, keepIdx []int, 
 
 // accCuts derives the accumulated-cost bucket boundaries: the exact
 // interval endpoints when few, otherwise the boundaries of the
-// compressed exact marginal.
-func accCuts(folds []cellFold, maxAcc int) ([]float64, error) {
-	ivals := make([]hist.Bucket, len(folds))
+// compressed exact marginal. hist.RearrangedCuts keeps the whole
+// rearrangement pooled; only the returned boundary slice — which
+// becomes the state's accumulator axis — is allocated.
+func accCuts(sc *evalScratch, folds []cellFold, maxAcc int) ([]float64, error) {
+	var ivals []hist.Bucket
+	if sc != nil {
+		if cap(sc.ivals) < len(folds) {
+			sc.ivals = make([]hist.Bucket, 0, len(folds))
+		}
+		ivals = sc.ivals[:len(folds)]
+		sc.ivals = ivals
+	} else {
+		ivals = make([]hist.Bucket, len(folds))
+	}
 	for i, f := range folds {
 		hi := f.hi
 		if !(hi > f.lo) {
@@ -430,41 +749,43 @@ func accCuts(folds []cellFold, maxAcc int) ([]float64, error) {
 		}
 		ivals[i] = hist.Bucket{Lo: f.lo, Hi: hi, Pr: f.pr}
 	}
-	exact, err := hist.Rearranged(ivals)
-	if err != nil {
-		return nil, err
-	}
-	if maxAcc > 0 {
-		exact = exact.Compress(maxAcc)
-	}
-	bs := exact.Buckets()
-	cuts := make([]float64, 0, len(bs)+1)
-	for _, b := range bs {
-		cuts = append(cuts, b.Lo)
-	}
-	cuts = append(cuts, bs[len(bs)-1].Hi)
-	return cuts, nil
+	return hist.RearrangedCuts(ivals, maxAcc)
 }
 
 // distributeFolds spreads each folded cell's mass across the acc slabs
 // proportionally to overlap (uniform-within-interval, the Section 4.2
-// rule).
+// rule). The slab scan starts at the first slab that can overlap the
+// fold; emissions accumulate in fold order, matching the map kernel.
 func distributeFolds(out *hist.Multi, folds []cellFold, cuts []float64) {
-	idxBuf := make([]int, out.Dims())
+	var idxArr [hist.MaxDims]int
+	idxBuf := idxArr[:out.Dims()]
 	for _, f := range folds {
 		lo, hi := f.lo, f.hi
 		if !(hi > lo) {
 			hi = lo + 1e-9
 		}
 		w := hi - lo
-		for s := 0; s+1 < len(cuts); s++ {
+		s := sort.SearchFloat64s(cuts, lo)
+		if s > 0 {
+			s--
+		}
+		for ; s+1 < len(cuts); s++ {
+			if cuts[s] >= hi {
+				break
+			}
 			ol := math.Min(cuts[s+1], hi) - math.Max(cuts[s], lo)
 			if ol <= 0 {
 				continue
 			}
+			add := f.pr * ol / w
+			if add == 0 {
+				// Matches the map kernel: Cell+SetCell with a zero delta
+				// never materialized an absent cell.
+				continue
+			}
 			idxBuf[0] = s
 			copy(idxBuf[1:], f.idx)
-			out.SetCell(idxBuf, out.Cell(idxBuf)+f.pr*ol/w)
+			out.AddCell(idxBuf, add)
 		}
 	}
 }

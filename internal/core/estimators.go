@@ -2,13 +2,13 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/gps"
 	"repro/internal/graph"
 	"repro/internal/hist"
+	"repro/internal/stats"
 )
 
 // Method selects a path-cost estimation strategy (Section 5.2.2).
@@ -72,6 +72,7 @@ func (h *HybridGraph) CostDistribution(p graph.Path, t float64, opt QueryOptions
 	if err != nil {
 		return nil, err
 	}
+	defer ca.Release()
 	var de *Decomposition
 	switch opt.Method {
 	case MethodOD:
@@ -151,34 +152,12 @@ func variableEntropy(v *Variable) float64 {
 	return multiEntropy(v.Joint)
 }
 
-func histEntropy(hg *hist.Histogram) float64 {
-	var e float64
-	for _, b := range hg.Buckets() {
-		if b.Pr > 0 {
-			e -= b.Pr * logf(b.Pr/b.Width())
-		}
-	}
-	return e
-}
+// histEntropy and multiEntropy delegate to the stats package — one
+// implementation of the Theorem 2 H(·), one place for its sorted-order
+// accumulation invariant.
+func histEntropy(hg *hist.Histogram) float64 { return stats.EntropyHistogram(hg) }
 
-func multiEntropy(m *hist.Multi) float64 {
-	var e float64
-	// Sorted order: float accumulation is not associative, so map-order
-	// iteration would make repeated entropy computations differ at the
-	// bit level between runs (see hist.Multi.Total).
-	m.ForEachSorted(func(k hist.CellKey, pr float64) {
-		if pr <= 0 {
-			return
-		}
-		vol := 1.0
-		for d := 0; d < m.Dims(); d++ {
-			lo, hi := m.BucketRange(d, int(k[d]))
-			vol *= hi - lo
-		}
-		e -= pr * logf(pr/vol)
-	})
-	return e
-}
+func multiEntropy(m *hist.Multi) float64 { return stats.EntropyMulti(m) }
 
 // GroundTruth implements the accuracy-optimal baseline of Section 2.2:
 // the distribution of total path costs over the qualified trajectories
@@ -231,8 +210,6 @@ func GroundTruthInterval(data *gps.Collection, p graph.Path, iv int, params Para
 	}
 	return hg, len(samples), nil
 }
-
-func logf(x float64) float64 { return math.Log(x) }
 
 // domainCost sums the configured-domain costs of a trajectory sub-path.
 func domainCost(m *gps.Matched, pos, n int, d CostDomain) float64 {

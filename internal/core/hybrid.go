@@ -89,6 +89,10 @@ type HybridGraph struct {
 
 	// vars indexes all instantiated variables by path key.
 	vars map[string]*pathVars
+	// unit indexes the rank-1 rows directly by edge, sparing the
+	// per-edge path-key string the temporal-relevance scan of every
+	// query would otherwise build.
+	unit map[graph.EdgeID]*pathVars
 	// byStart lists instantiated paths by their first edge, used to
 	// build candidate arrays (Section 4.1.3). Sorted by rank.
 	byStart map[graph.EdgeID][]*pathVars
@@ -381,6 +385,12 @@ func (h *HybridGraph) addVariable(v *Variable) {
 		pv = &pathVars{path: v.Path, byIv: make(map[int]*Variable)}
 		h.vars[key] = pv
 		h.byStart[v.Path[0]] = append(h.byStart[v.Path[0]], pv)
+		if len(v.Path) == 1 {
+			if h.unit == nil {
+				h.unit = make(map[graph.EdgeID]*pathVars)
+			}
+			h.unit[v.Path[0]] = pv
+		}
 	}
 	pv.byIv[v.Interval] = v
 	i := sort.Search(len(pv.sorted), func(i int) bool { return pv.sorted[i].Interval >= v.Interval })

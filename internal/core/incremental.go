@@ -103,6 +103,7 @@ func (s *PathState) recompute(prev *PathState) error {
 	if err != nil {
 		return err
 	}
+	defer ca.Release()
 	switch s.opt.Method {
 	case MethodOD:
 		s.de = ca.CoarsestDecomposition(s.opt.RankCap)

@@ -338,6 +338,10 @@ func (r *hybridReader) readDistribution(v *Variable) error {
 		if count < 1 {
 			return fmt.Errorf("core: bad cell count for %v", v.Path)
 		}
+		// Cells were written by ForEachSorted, so they arrive in
+		// ascending key order and SetCell appends each one straight
+		// onto the columnar arrays — loading builds the sorted layout
+		// directly, with no re-sorting and no hashing.
 		idx := make([]int, dims)
 		for i := 0; i < count; i++ {
 			line, ok := r.next()

@@ -445,6 +445,10 @@ func readMultiRaw(rd *hybridReader) (*hist.Multi, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("cell count %d must be positive", count)
 	}
+	// Cells were written in sorted key order, so SetCell appends each
+	// one straight onto the columnar arrays — the sorted layout is
+	// rebuilt directly (out-of-order cells in a hand-edited file still
+	// load correctly through SetCell's insertion path).
 	idx := make([]int, dims)
 	for i := 0; i < count; i++ {
 		line, ok := rd.next()

@@ -1,0 +1,89 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation regression tests for the columnar cell store: the hot
+// read paths of the chain evaluator — sorted iteration, totals,
+// marginals — must not allocate once warm. The map-based predecessor
+// allocated (and sorted) a key slice on every ForEachSorted visit;
+// these tests pin the improvement so it cannot silently regress.
+
+func allocFixtureMulti(tb testing.TB) *Multi {
+	tb.Helper()
+	rnd := rand.New(rand.NewSource(5))
+	m, err := NewMulti([][]float64{
+		{0, 10, 20, 40, 80, 160},
+		{0, 5, 9, 33},
+		{0, 1, 2, 3, 4},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	idx := make([]int, 3)
+	for c := 0; c < 40; c++ {
+		for d := range idx {
+			idx[d] = rnd.Intn(m.NumBuckets(d))
+		}
+		m.SetCell(idx, 0.01+rnd.Float64())
+	}
+	if err := m.Normalize(); err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestForEachSortedZeroAllocs(t *testing.T) {
+	m := allocFixtureMulti(t)
+	var sink float64
+	visit := func(_ CellKey, pr float64) { sink += pr }
+	if n := testing.AllocsPerRun(100, func() { m.ForEachSorted(visit) }); n != 0 {
+		t.Fatalf("ForEachSorted allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}
+
+func TestTotalZeroAllocs(t *testing.T) {
+	m := allocFixtureMulti(t)
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink = m.Total() }); n != 0 {
+		t.Fatalf("Total allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}
+
+func TestMarginalWarmZeroAllocs(t *testing.T) {
+	m := allocFixtureMulti(t)
+	for d := 0; d < m.Dims(); d++ {
+		m.Marginal(d) // warm the per-dimension cache
+	}
+	var sink *Histogram
+	if n := testing.AllocsPerRun(100, func() { sink = m.Marginal(1) }); n != 0 {
+		t.Fatalf("warm Marginal allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}
+
+// Mutations must invalidate the marginal cache: a stale marginal would
+// silently mis-answer after SetCell/Add/Normalize.
+func TestMarginalCacheInvalidation(t *testing.T) {
+	m := allocFixtureMulti(t)
+	before := m.Marginal(0).Mean()
+	// Move all of bucket-0 mass (if any) far to the right.
+	keys, probs := m.Cells()
+	last := len(keys) - 1
+	m.SetCell([]int{4, 2, 3}, probs[last]+0.5)
+	after := m.Marginal(0)
+	if after == nil || after.Mean() == before {
+		t.Fatalf("marginal not recomputed after SetCell (mean still %v)", before)
+	}
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	renorm := m.Marginal(0)
+	if renorm.Mean() == 0 {
+		t.Fatal("marginal after Normalize is empty")
+	}
+}

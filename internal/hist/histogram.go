@@ -3,8 +3,10 @@ package hist
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Bucket is a half-open cost range [Lo, Hi) carrying probability Pr.
@@ -25,28 +27,52 @@ type Histogram struct {
 	buckets []Bucket
 }
 
-// FromBuckets validates and constructs a histogram from buckets. The
-// buckets must be non-empty, each with Hi > Lo and Pr ≥ 0, pairwise
-// disjoint and sorted; probabilities are normalized to sum to one.
-func FromBuckets(bs []Bucket) (*Histogram, error) {
+// validateBuckets runs the FromBuckets shape checks and returns the
+// total mass.
+func validateBuckets(bs []Bucket) (float64, error) {
 	if len(bs) == 0 {
-		return nil, fmt.Errorf("hist: no buckets")
+		return 0, fmt.Errorf("hist: no buckets")
 	}
 	var total float64
 	for i, b := range bs {
 		if !(b.Hi > b.Lo) {
-			return nil, fmt.Errorf("hist: bucket %d has non-positive width [%v,%v)", i, b.Lo, b.Hi)
+			return 0, fmt.Errorf("hist: bucket %d has non-positive width [%v,%v)", i, b.Lo, b.Hi)
 		}
 		if b.Pr < 0 || math.IsNaN(b.Pr) {
-			return nil, fmt.Errorf("hist: bucket %d has invalid probability %v", i, b.Pr)
+			return 0, fmt.Errorf("hist: bucket %d has invalid probability %v", i, b.Pr)
 		}
 		if i > 0 && b.Lo < bs[i-1].Hi {
-			return nil, fmt.Errorf("hist: bucket %d overlaps or is out of order", i)
+			return 0, fmt.Errorf("hist: bucket %d overlaps or is out of order", i)
 		}
 		total += b.Pr
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("hist: zero total probability")
+		return 0, fmt.Errorf("hist: zero total probability")
+	}
+	return total, nil
+}
+
+// normalizeBuckets validates bs in place and divides every probability
+// by the total — the FromBuckets normalization without the defensive
+// copy, for callers that own bs.
+func normalizeBuckets(bs []Bucket) error {
+	total, err := validateBuckets(bs)
+	if err != nil {
+		return err
+	}
+	for i := range bs {
+		bs[i].Pr /= total
+	}
+	return nil
+}
+
+// FromBuckets validates and constructs a histogram from buckets. The
+// buckets must be non-empty, each with Hi > Lo and Pr ≥ 0, pairwise
+// disjoint and sorted; probabilities are normalized to sum to one.
+func FromBuckets(bs []Bucket) (*Histogram, error) {
+	total, err := validateBuckets(bs)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]Bucket, len(bs))
 	copy(out, bs)
@@ -54,6 +80,16 @@ func FromBuckets(bs []Bucket) (*Histogram, error) {
 		out[i].Pr /= total
 	}
 	return &Histogram{buckets: out}, nil
+}
+
+// fromBucketsOwned is FromBuckets taking ownership of bs: it
+// normalizes in place instead of copying. The float operations are
+// identical, so results are bit-identical to FromBuckets.
+func fromBucketsOwned(bs []Bucket) (*Histogram, error) {
+	if err := normalizeBuckets(bs); err != nil {
+		return nil, err
+	}
+	return &Histogram{buckets: bs}, nil
 }
 
 // FromBucketsExact is FromBuckets for already-normalized input: it
@@ -260,29 +296,74 @@ type weightedInterval struct {
 	pr     float64
 }
 
+// rearrangeScratch pools the transient buffers of one rearrangement
+// (the cut set, and for the cuts-only entry point also the interval
+// copy and the bucket workspace), so the evaluator's per-fold
+// rearrangements stop allocating once warm.
+type rearrangeScratch struct {
+	cuts []float64
+	wi   []weightedInterval
+	bs   []Bucket
+}
+
+var rearrangePool = sync.Pool{New: func() any { return new(rearrangeScratch) }}
+
 // rearrange implements the bucket rearrangement of Section 4.2: it
 // overlays possibly-overlapping uniform interval masses, splits at all
 // interval boundaries, and returns disjoint buckets whose mass is the
 // length-proportional share of each contributing interval — exactly
-// the procedure of the paper's Figure 7 example.
+// the procedure of the paper's Figure 7 example. ivals is sorted in
+// place.
 func rearrange(ivals []weightedInterval) (*Histogram, error) {
+	sc := rearrangePool.Get().(*rearrangeScratch)
+	defer rearrangePool.Put(sc)
+	bs, err := rearrangeInto(sc, nil, ivals)
+	if err != nil {
+		return nil, err
+	}
+	return fromBucketsOwned(bs)
+}
+
+// rearrangeInto is the rearrangement core: it splits at all interval
+// boundaries and emits the disjoint density-merged buckets into bs
+// (grown as needed), without the final normalization. The cut set
+// lives in sc; ivals is sorted in place.
+func rearrangeInto(sc *rearrangeScratch, bs []Bucket, ivals []weightedInterval) ([]Bucket, error) {
 	if len(ivals) == 0 {
 		return nil, fmt.Errorf("hist: rearrange of zero intervals")
 	}
-	cuts := make([]float64, 0, 2*len(ivals))
+	cuts := sc.cuts[:0]
+	if cap(cuts) < 2*len(ivals) {
+		cuts = make([]float64, 0, 2*len(ivals))
+	}
 	for _, iv := range ivals {
 		if !(iv.hi > iv.lo) {
+			sc.cuts = cuts
 			return nil, fmt.Errorf("hist: interval [%v,%v) has non-positive width", iv.lo, iv.hi)
 		}
 		cuts = append(cuts, iv.lo, iv.hi)
 	}
 	sort.Float64s(cuts)
 	cuts = dedupFloats(cuts)
+	sc.cuts = cuts
 
 	// Sort intervals by lo so each elementary cell only scans forward.
-	sort.Slice(ivals, func(i, j int) bool { return ivals[i].lo < ivals[j].lo })
+	slices.SortFunc(ivals, func(a, b weightedInterval) int {
+		switch {
+		case a.lo < b.lo:
+			return -1
+		case b.lo < a.lo:
+			return 1
+		default:
+			return 0
+		}
+	})
 
-	bs := make([]Bucket, 0, len(cuts)-1)
+	if cap(bs) < len(cuts)-1 {
+		bs = make([]Bucket, 0, len(cuts)-1)
+	} else {
+		bs = bs[:0]
+	}
 	for i := 0; i+1 < len(cuts); i++ {
 		lo, hi := cuts[i], cuts[i+1]
 		var pr float64
@@ -301,8 +382,7 @@ func rearrange(ivals []weightedInterval) (*Histogram, error) {
 	}
 	// Merge adjacent cells with (near-)identical density to keep the
 	// result minimal without changing the distribution.
-	bs = mergeEqualDensity(bs)
-	return FromBuckets(bs)
+	return mergeEqualDensity(bs), nil
 }
 
 func dedupFloats(xs []float64) []float64 {
@@ -378,11 +458,84 @@ func ConvolveAll(hs []*Histogram) *Histogram {
 // Rearranged builds a histogram from raw interval masses (exported for
 // the multi-dimensional flattening in Section 4.2).
 func Rearranged(intervals []Bucket) (*Histogram, error) {
-	ivals := make([]weightedInterval, len(intervals))
-	for i, b := range intervals {
-		ivals[i] = weightedInterval{lo: b.Lo, hi: b.Hi, pr: b.Pr}
+	sc := rearrangePool.Get().(*rearrangeScratch)
+	defer rearrangePool.Put(sc)
+	wi := fillWeighted(sc, intervals)
+	bs, err := rearrangeInto(sc, nil, wi)
+	if err != nil {
+		return nil, err
 	}
-	return rearrange(ivals)
+	return fromBucketsOwned(bs)
+}
+
+// fillWeighted copies interval buckets into the scratch's pooled
+// weightedInterval buffer.
+func fillWeighted(sc *rearrangeScratch, intervals []Bucket) []weightedInterval {
+	wi := sc.wi
+	if cap(wi) < len(intervals) {
+		wi = make([]weightedInterval, len(intervals))
+	} else {
+		wi = wi[:len(intervals)]
+	}
+	for i, b := range intervals {
+		wi[i] = weightedInterval{lo: b.Lo, hi: b.Hi, pr: b.Pr}
+	}
+	sc.wi = wi
+	return wi
+}
+
+// RearrangedCuts is Rearranged followed by Compress(maxBuckets),
+// returning only the resulting bucket boundaries. The evaluator
+// re-buckets its accumulator axis with it on every fold; keeping the
+// interval copy, the cut set and the bucket workspace pooled makes the
+// warm path allocate nothing but the returned boundary slice. The
+// float operations replicate Rearranged+Compress exactly, so the
+// boundaries are bit-identical to that composition.
+func RearrangedCuts(intervals []Bucket, maxBuckets int) ([]float64, error) {
+	sc := rearrangePool.Get().(*rearrangeScratch)
+	defer rearrangePool.Put(sc)
+	wi := fillWeighted(sc, intervals)
+	bs, err := rearrangeInto(sc, sc.bs, wi)
+	if err != nil {
+		return nil, err
+	}
+	sc.bs = bs[:0]
+	// Rearranged ends in the FromBuckets normalization.
+	if err := normalizeBuckets(bs); err != nil {
+		return nil, err
+	}
+	// Compress merges on a working copy (bs already is one) and
+	// re-normalizes through FromBuckets; it no-ops when small enough.
+	if maxBuckets >= 1 && len(bs) > maxBuckets {
+		bs = compressBuckets(bs, maxBuckets)
+		if err := normalizeBuckets(bs); err != nil {
+			panic(err) // merging valid disjoint buckets keeps them valid
+		}
+	}
+	cuts := make([]float64, 0, len(bs)+1)
+	for _, b := range bs {
+		cuts = append(cuts, b.Lo)
+	}
+	cuts = append(cuts, bs[len(bs)-1].Hi)
+	return cuts, nil
+}
+
+// compressBuckets is the Compress merge loop operating in place on a
+// caller-owned working slice.
+func compressBuckets(bs []Bucket, maxBuckets int) []Bucket {
+	for len(bs) > maxBuckets {
+		bestIdx, bestCost := -1, math.Inf(1)
+		for i := 0; i+1 < len(bs); i++ {
+			c := mergeCost(bs[i], bs[i+1])
+			if c < bestCost {
+				bestCost, bestIdx = c, i
+			}
+		}
+		a, b := bs[bestIdx], bs[bestIdx+1]
+		bs[bestIdx] = Bucket{Lo: a.Lo, Hi: b.Hi, Pr: a.Pr + b.Pr}
+		bs = append(bs[:bestIdx+1], bs[bestIdx+2:]...)
+	}
+	return bs
 }
 
 // Compress reduces the histogram to at most maxBuckets buckets by
@@ -395,19 +548,8 @@ func (h *Histogram) Compress(maxBuckets int) *Histogram {
 	}
 	bs := make([]Bucket, len(h.buckets))
 	copy(bs, h.buckets)
-	for len(bs) > maxBuckets {
-		bestIdx, bestCost := -1, math.Inf(1)
-		for i := 0; i+1 < len(bs); i++ {
-			c := mergeCost(bs[i], bs[i+1])
-			if c < bestCost {
-				bestCost, bestIdx = c, i
-			}
-		}
-		a, b := bs[bestIdx], bs[bestIdx+1]
-		merged := Bucket{Lo: a.Lo, Hi: b.Hi, Pr: a.Pr + b.Pr}
-		bs = append(bs[:bestIdx], append([]Bucket{merged}, bs[bestIdx+2:]...)...)
-	}
-	out, err := FromBuckets(bs)
+	bs = compressBuckets(bs, maxBuckets)
+	out, err := fromBucketsOwned(bs)
 	if err != nil {
 		panic(err) // merging valid disjoint buckets keeps them valid
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // MaxDims bounds the dimensionality of a multi-dimensional histogram.
@@ -14,25 +16,165 @@ const MaxDims = 12
 
 // CellKey identifies a hyper-bucket by its per-dimension bucket
 // indices. Unused trailing dimensions must be zero so that keys remain
-// comparable map keys.
+// directly comparable.
 type CellKey [MaxDims]uint16
 
+// cellKeyLess reports whether a sorts before b in lexicographic order
+// over all dimensions — the storage order of Multi and the visit order
+// of ForEachSorted.
+func cellKeyLess(a, b CellKey) bool {
+	for d := 0; d < MaxDims; d++ {
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return false
+}
+
 // Multi is a multi-dimensional histogram (Section 3.2): per-dimension
-// bucket boundaries form a grid, and a sparse map assigns probability
-// to occupied hyper-buckets. Probabilities sum to one.
+// bucket boundaries form a grid, and a sparse columnar cell store
+// assigns probability to occupied hyper-buckets. Probabilities sum to
+// one.
+//
+// Cells live in two parallel slices — keys and probs — kept in
+// ascending lexicographic key order at all times. The sorted layout
+// makes ForEachSorted (and everything built on it: Total, marginals,
+// folding, serialization) a zero-allocation linear scan, and lets the
+// chain evaluator join two histograms' cells with a merge instead of
+// hash lookups. The map-based predecessor re-derived this order with a
+// sort on every visit.
 type Multi struct {
 	bounds [][]float64 // bounds[d] has len nb_d+1, strictly increasing
-	cells  map[CellKey]float64
+	keys   []CellKey   // ascending lexicographic, no duplicates
+	probs  []float64   // probs[i] belongs to keys[i]
+
+	// marg caches per-dimension marginals so a warm Marginal is
+	// allocation-free; any cell mutation invalidates the cache.
+	marg [MaxDims]atomic.Pointer[Histogram]
 }
 
 // NewMulti creates an empty multi-dimensional histogram over the given
 // per-dimension boundaries. Mass must be added via Add and then
 // Normalize must be called.
 func NewMulti(bounds [][]float64) (*Multi, error) {
+	cp, err := validateBounds(bounds, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Multi{bounds: cp}, nil
+}
+
+// multiPool recycles the transient Multis the chain evaluator churns
+// through: remapped alignment views and intermediate chain states live
+// for one multiply/fold step and then die. A pooled Multi keeps its
+// cell buffers and top-level bounds slice attached, so reuse restores
+// their capacity without re-allocating.
+var multiPool = sync.Pool{New: func() any { return new(Multi) }}
+
+// newMultiFromPool returns a pooled Multi with a bounds top-slice of
+// length ndims (nil elements, to be filled by the caller) and empty
+// cell buffers with capacity ≥ cellCap.
+func newMultiFromPool(ndims, cellCap int) *Multi {
+	m := multiPool.Get().(*Multi)
+	if cap(m.bounds) < ndims {
+		m.bounds = make([][]float64, ndims)
+	} else {
+		m.bounds = m.bounds[:ndims]
+		for i := range m.bounds {
+			m.bounds[i] = nil
+		}
+	}
+	if cap(m.keys) < cellCap {
+		m.keys = make([]CellKey, 0, cellCap)
+	} else {
+		m.keys = m.keys[:0]
+	}
+	if cap(m.probs) < cellCap {
+		m.probs = make([]float64, 0, cellCap)
+	} else {
+		m.probs = m.probs[:0]
+	}
+	return m
+}
+
+// PutMulti recycles a transient Multi: the struct, its cell buffers
+// and its top-level bounds slice return to the pool. The caller must
+// be the Multi's sole owner and must not touch it afterwards. The
+// per-dimension boundary slices are released, not pooled — they are
+// routinely shared between histograms.
+func PutMulti(m *Multi) {
+	if m == nil {
+		return
+	}
+	for i := range m.bounds {
+		m.bounds[i] = nil
+	}
+	m.bounds = m.bounds[:0]
+	m.keys = m.keys[:0]
+	m.probs = m.probs[:0]
+	for d := range m.marg {
+		m.marg[d].Store(nil)
+	}
+	multiPool.Put(m)
+}
+
+// NewMultiFromCells builds a pooled Multi from a columnar cell dump:
+// the per-dimension boundary slices are shared (treat them as
+// immutable), while the top-level bounds slice and the cells are
+// copied into the Multi's pooled storage — the caller keeps ownership
+// of all three argument slices and may reuse them. keys must be
+// strictly ascending in lexicographic order, within the grid, with
+// zero trailing dimensions. The chain evaluator's merge-join kernel
+// emits its result cells already sorted, so this constructor turns
+// them into a Multi in O(cells) with no re-sorting and no hashing.
+func NewMultiFromCells(bounds [][]float64, keys []CellKey, probs []float64) (*Multi, error) {
+	if _, err := validateBounds(bounds, false); err != nil {
+		return nil, err
+	}
+	if err := validateCells(bounds, keys, probs); err != nil {
+		return nil, err
+	}
+	m := newMultiFromPool(len(bounds), len(keys))
+	copy(m.bounds, bounds)
+	m.keys = m.keys[:len(keys)]
+	copy(m.keys, keys)
+	m.probs = m.probs[:len(probs)]
+	copy(m.probs, probs)
+	return m, nil
+}
+
+func validateCells(bounds [][]float64, keys []CellKey, probs []float64) error {
+	if len(keys) != len(probs) {
+		return fmt.Errorf("hist: %d keys but %d probabilities", len(keys), len(probs))
+	}
+	dims := len(bounds)
+	for i, k := range keys {
+		if i > 0 && !cellKeyLess(keys[i-1], k) {
+			return fmt.Errorf("hist: cell keys not in ascending order at %d", i)
+		}
+		for d := 0; d < MaxDims; d++ {
+			if d < dims {
+				if int(k[d]) >= len(bounds[d])-1 {
+					return fmt.Errorf("hist: cell %d index %d out of range on dim %d", i, k[d], d)
+				}
+			} else if k[d] != 0 {
+				return fmt.Errorf("hist: cell %d has non-zero index on unused dim %d", i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// validateBounds checks the grid shape; when copy is true the returned
+// slices are deep copies of the input.
+func validateBounds(bounds [][]float64, copyBounds bool) ([][]float64, error) {
 	if len(bounds) == 0 || len(bounds) > MaxDims {
 		return nil, fmt.Errorf("hist: %d dimensions out of range [1,%d]", len(bounds), MaxDims)
 	}
-	cp := make([][]float64, len(bounds))
+	out := bounds
+	if copyBounds {
+		out = make([][]float64, len(bounds))
+	}
 	for d, bd := range bounds {
 		if len(bd) < 2 {
 			return nil, fmt.Errorf("hist: dimension %d has %d boundaries, need ≥ 2", d, len(bd))
@@ -45,9 +187,11 @@ func NewMulti(bounds [][]float64) (*Multi, error) {
 				return nil, fmt.Errorf("hist: dimension %d boundaries not increasing at %d", d, i)
 			}
 		}
-		cp[d] = append([]float64(nil), bd...)
+		if copyBounds {
+			out[d] = append([]float64(nil), bd...)
+		}
 	}
-	return &Multi{bounds: cp, cells: make(map[CellKey]float64)}, nil
+	return out, nil
 }
 
 // Dims returns the number of dimensions.
@@ -60,19 +204,28 @@ func (m *Multi) Bounds(d int) []float64 { return m.bounds[d] }
 func (m *Multi) NumBuckets(d int) int { return len(m.bounds[d]) - 1 }
 
 // NumCells returns the number of occupied hyper-buckets.
-func (m *Multi) NumCells() int { return len(m.cells) }
+func (m *Multi) NumCells() int { return len(m.keys) }
 
-// StorageFloats approximates the storage footprint as a float count:
-// all boundaries plus one probability per occupied cell. Used for the
+// Cells exposes the columnar cell storage: the keys in ascending
+// lexicographic order and the parallel probabilities. The chain
+// evaluator's merge-join and fold kernels iterate these directly.
+// Callers must not modify either slice.
+func (m *Multi) Cells() (keys []CellKey, probs []float64) { return m.keys, m.probs }
+
+// cellKeyFloats is the float64-equivalent storage of one cell key in
+// the columnar layout (a CellKey is MaxDims uint16 words).
+const cellKeyFloats = MaxDims * 2 / 8
+
+// StorageFloats reports the storage footprint as a float count: all
+// boundaries plus, per occupied cell, the key's columnar storage
+// (cellKeyFloats float-equivalents) and one probability. Used for the
 // Fig. 11(c)/Fig. 12 space accounting.
 func (m *Multi) StorageFloats() int {
 	n := 0
 	for _, bd := range m.bounds {
 		n += len(bd)
 	}
-	// Each occupied cell stores its index tuple (counted as one float
-	// equivalent) and its probability.
-	return n + 2*len(m.cells)
+	return n + (cellKeyFloats+1)*len(m.keys)
 }
 
 // BucketRange returns [lo, hi) of bucket i on dimension d.
@@ -99,6 +252,56 @@ func (m *Multi) locate(d int, v float64) int {
 	return i - 1
 }
 
+// search returns the storage index of key and whether it is occupied;
+// for absent keys the returned index is the insertion position.
+func (m *Multi) search(key CellKey) (int, bool) {
+	i := sort.Search(len(m.keys), func(i int) bool { return !cellKeyLess(m.keys[i], key) })
+	if i < len(m.keys) && m.keys[i] == key {
+		return i, true
+	}
+	return i, false
+}
+
+// invalidateMarginals drops the cached per-dimension marginals; every
+// cell mutation must call it.
+func (m *Multi) invalidateMarginals() {
+	for d := range m.bounds {
+		m.marg[d].Store(nil)
+	}
+}
+
+// insertAt places a new cell at storage position i, shifting the tail.
+func (m *Multi) insertAt(i int, key CellKey, pr float64) {
+	m.keys = append(m.keys, CellKey{})
+	copy(m.keys[i+1:], m.keys[i:])
+	m.keys[i] = key
+	m.probs = append(m.probs, 0)
+	copy(m.probs[i+1:], m.probs[i:])
+	m.probs[i] = pr
+}
+
+// removeAt deletes the cell at storage position i.
+func (m *Multi) removeAt(i int) {
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.probs = append(m.probs[:i], m.probs[i+1:]...)
+}
+
+// addKey accrues w to the cell with the given key, inserting it when
+// absent (mirroring map += semantics: a zero-weight accrual still
+// creates the cell). Ascending insertions — the common case, since
+// producers emit in sorted order — append in O(1).
+func (m *Multi) addKey(key CellKey, w float64) {
+	if n := len(m.keys); n == 0 || cellKeyLess(m.keys[n-1], key) {
+		m.keys = append(m.keys, key)
+		m.probs = append(m.probs, w)
+	} else if i, ok := m.search(key); ok {
+		m.probs[i] += w
+	} else {
+		m.insertAt(i, key, w)
+	}
+	m.invalidateMarginals()
+}
+
 // Add accrues weight w to the hyper-bucket containing point; it
 // reports false when the point is outside the grid.
 func (m *Multi) Add(point []float64, w float64) bool {
@@ -110,13 +313,13 @@ func (m *Multi) Add(point []float64, w float64) bool {
 		}
 		key[d] = uint16(i)
 	}
-	m.cells[key] += w
+	m.addKey(key, w)
 	return true
 }
 
-// SetCell assigns probability to a hyper-bucket by index; indexes must
-// be in range. Used by tests and by factor operations.
-func (m *Multi) SetCell(idx []int, pr float64) {
+// checkedKey converts per-dimension indices to a CellKey, panicking on
+// out-of-range indices. Used by tests and by factor operations.
+func (m *Multi) checkedKey(idx []int) CellKey {
 	var key CellKey
 	for d, i := range idx {
 		if i < 0 || i >= m.NumBuckets(d) {
@@ -124,11 +327,39 @@ func (m *Multi) SetCell(idx []int, pr float64) {
 		}
 		key[d] = uint16(i)
 	}
+	return key
+}
+
+// SetCell assigns probability to a hyper-bucket by index; indexes must
+// be in range. Setting zero removes the cell. Used by tests and by
+// factor operations; deserializers feed it cells in ascending key
+// order, which appends directly into the columnar layout.
+func (m *Multi) SetCell(idx []int, pr float64) {
+	key := m.checkedKey(idx)
 	if pr == 0 {
-		delete(m.cells, key)
+		if i, ok := m.search(key); ok {
+			m.removeAt(i)
+			m.invalidateMarginals()
+		}
 		return
 	}
-	m.cells[key] = pr
+	if n := len(m.keys); n == 0 || cellKeyLess(m.keys[n-1], key) {
+		m.keys = append(m.keys, key)
+		m.probs = append(m.probs, pr)
+	} else if i, ok := m.search(key); ok {
+		m.probs[i] = pr
+	} else {
+		m.insertAt(i, key, pr)
+	}
+	m.invalidateMarginals()
+}
+
+// AddCell accrues w to the hyper-bucket with the given indices,
+// inserting the cell when absent; indexes must be in range. Unlike
+// SetCell a zero accrual onto an absent cell creates it, mirroring the
+// += semantics the evaluator's fold assembly relies on.
+func (m *Multi) AddCell(idx []int, w float64) {
+	m.addKey(m.checkedKey(idx), w)
 }
 
 // Cell returns the probability of the hyper-bucket with the given
@@ -138,46 +369,41 @@ func (m *Multi) Cell(idx []int) float64 {
 	for d, i := range idx {
 		key[d] = uint16(i)
 	}
-	return m.cells[key]
+	if i, ok := m.search(key); ok {
+		return m.probs[i]
+	}
+	return 0
 }
 
-// ForEach visits every occupied hyper-bucket in map order; use
-// ForEachSorted when the visit order must be reproducible.
+// ForEach visits every occupied hyper-bucket. With the columnar layout
+// this is the same zero-allocation sorted scan as ForEachSorted (the
+// map-based predecessor visited in map order here).
 func (m *Multi) ForEach(fn func(key CellKey, pr float64)) {
-	for k, v := range m.cells {
-		fn(k, v)
+	for i, k := range m.keys {
+		fn(k, m.probs[i])
 	}
 }
 
 // ForEachSorted visits every occupied hyper-bucket in lexicographic
 // key order, so serialization and other order-sensitive consumers are
-// deterministic across runs.
+// deterministic across runs. Cells are stored in exactly this order,
+// making the visit a zero-allocation linear scan.
 func (m *Multi) ForEachSorted(fn func(key CellKey, pr float64)) {
-	keys := make([]CellKey, 0, len(m.cells))
-	for k := range m.cells {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		for d := 0; d < MaxDims; d++ {
-			if a[d] != b[d] {
-				return a[d] < b[d]
-			}
-		}
-		return false
-	})
-	for _, k := range keys {
-		fn(k, m.cells[k])
+	for i, k := range m.keys {
+		fn(k, m.probs[i])
 	}
 }
 
 // Total returns the current probability mass (1 after Normalize).
-// Summation runs in sorted key order: float addition is not
-// associative, so map-order iteration would make the total — and
-// everything normalized by it — drift at the bit level between runs.
+// Summation runs in sorted key order — the storage order — because
+// float addition is not associative: an arbitrary iteration order
+// would make the total, and everything normalized by it, drift at the
+// bit level between runs.
 func (m *Multi) Total() float64 {
 	var t float64
-	m.ForEachSorted(func(_ CellKey, v float64) { t += v })
+	for _, v := range m.probs {
+		t += v
+	}
 	return t
 }
 
@@ -188,9 +414,10 @@ func (m *Multi) Normalize() error {
 	if t <= 0 {
 		return fmt.Errorf("hist: cannot normalize empty multi-histogram")
 	}
-	for k, v := range m.cells {
-		m.cells[k] = v / t
+	for i, v := range m.probs {
+		m.probs[i] = v / t
 	}
+	m.invalidateMarginals()
 	return nil
 }
 
@@ -209,24 +436,30 @@ func (m *Multi) CheckNormalized(tol float64) error {
 
 // Clone returns a deep copy.
 func (m *Multi) Clone() *Multi {
-	out, err := NewMulti(m.bounds)
-	if err != nil {
-		panic(err) // m was valid
+	cp := make([][]float64, len(m.bounds))
+	for d, bd := range m.bounds {
+		cp[d] = append([]float64(nil), bd...)
 	}
-	for k, v := range m.cells {
-		out.cells[k] = v
+	return &Multi{
+		bounds: cp,
+		keys:   append([]CellKey(nil), m.keys...),
+		probs:  append([]float64(nil), m.probs...),
 	}
-	return out
 }
 
 // Marginal returns the one-dimensional marginal distribution of
 // dimension d. Accumulation runs in sorted key order so the result is
-// bit-identical across runs (see Total).
+// bit-identical across runs (see Total). The marginal is cached on the
+// Multi — a warm call is allocation-free — and invalidated by any cell
+// mutation; callers must treat the returned histogram as read-only.
 func (m *Multi) Marginal(d int) *Histogram {
+	if h := m.marg[d].Load(); h != nil {
+		return h
+	}
 	pr := make([]float64, m.NumBuckets(d))
-	m.ForEachSorted(func(k CellKey, v float64) {
-		pr[k[d]] += v
-	})
+	for i, k := range m.keys {
+		pr[k[d]] += m.probs[i]
+	}
 	bs := make([]Bucket, 0, len(pr))
 	for i, p := range pr {
 		if p > 0 {
@@ -238,6 +471,9 @@ func (m *Multi) Marginal(d int) *Histogram {
 	if err != nil {
 		panic(fmt.Sprintf("hist: marginal of dim %d: %v", d, err))
 	}
+	// Concurrent readers may race to fill the cache; the computation is
+	// deterministic, so whichever value lands is the same histogram.
+	m.marg[d].Store(h)
 	return h
 }
 
@@ -256,14 +492,39 @@ func (m *Multi) MarginalOnto(dims []int) (*Multi, error) {
 		return nil, err
 	}
 	// Sorted order: distinct cells fold onto shared marginal cells, so
-	// the accumulation order must be reproducible (see Total).
-	m.ForEachSorted(func(k CellKey, v float64) {
-		var nk CellKey
-		for i, d := range dims {
-			nk[i] = k[d]
+	// the accumulation order must be reproducible (see Total). When
+	// dims is a leading prefix of the source dims — the evaluator's
+	// overlap marginal — projections arrive in non-decreasing order and
+	// accumulate onto the tail cell directly, with no searching.
+	prefix := true
+	for i, d := range dims {
+		if d != i {
+			prefix = false
+			break
 		}
-		out.cells[nk] += v
-	})
+	}
+	if prefix {
+		for i, k := range m.keys {
+			var nk CellKey
+			for j := range dims {
+				nk[j] = k[j]
+			}
+			if n := len(out.keys); n > 0 && out.keys[n-1] == nk {
+				out.probs[n-1] += m.probs[i]
+			} else {
+				out.keys = append(out.keys, nk)
+				out.probs = append(out.probs, m.probs[i])
+			}
+		}
+		return out, nil
+	}
+	for i, k := range m.keys {
+		var nk CellKey
+		for j, d := range dims {
+			nk[j] = k[d]
+		}
+		out.addKey(nk, m.probs[i])
+	}
 	return out, nil
 }
 
@@ -271,7 +532,7 @@ func (m *Multi) MarginalOnto(dims []int) (*Multi, error) {
 // dimensions (the tightest interval the flattened cost can occupy).
 func (m *Multi) MinSum() float64 {
 	min := math.Inf(1)
-	for k := range m.cells {
+	for _, k := range m.keys {
 		var s float64
 		for d := 0; d < m.Dims(); d++ {
 			s += m.bounds[d][k[d]]
@@ -286,7 +547,7 @@ func (m *Multi) MinSum() float64 {
 // MaxSum returns the maximum possible sum over occupied cells.
 func (m *Multi) MaxSum() float64 {
 	max := math.Inf(-1)
-	for k := range m.cells {
+	for _, k := range m.keys {
 		var s float64
 		for d := 0; d < m.Dims(); d++ {
 			s += m.bounds[d][k[d]+1]
@@ -304,20 +565,28 @@ func (m *Multi) MaxSum() float64 {
 // intervals are rearranged into disjoint buckets. maxBuckets ≤ 0
 // leaves the result uncompressed.
 func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
-	if len(m.cells) == 0 {
+	if len(m.keys) == 0 {
 		return nil, fmt.Errorf("hist: empty multi-histogram")
 	}
-	// Sorted order: rearrange accumulates overlapping intervals, so
-	// the input sequence must be reproducible (see Total).
-	ivals := make([]weightedInterval, 0, len(m.cells))
-	m.ForEachSorted(func(k CellKey, v float64) {
+	// Sorted (storage) order: rearrange accumulates overlapping
+	// intervals, so the input sequence must be reproducible (see Total).
+	sc := rearrangePool.Get().(*rearrangeScratch)
+	defer rearrangePool.Put(sc)
+	ivals := sc.wi
+	if cap(ivals) < len(m.keys) {
+		ivals = make([]weightedInterval, 0, len(m.keys))
+	} else {
+		ivals = ivals[:0]
+	}
+	for i, k := range m.keys {
 		var lo, hi float64
 		for d := 0; d < m.Dims(); d++ {
 			lo += m.bounds[d][k[d]]
 			hi += m.bounds[d][k[d]+1]
 		}
-		ivals = append(ivals, weightedInterval{lo: lo, hi: hi, pr: v})
-	})
+		ivals = append(ivals, weightedInterval{lo: lo, hi: hi, pr: m.probs[i]})
+	}
+	sc.wi = ivals
 	h, err := rearrange(ivals)
 	if err != nil {
 		return nil, err
@@ -331,7 +600,9 @@ func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
 // RefineDim splits dimension d's buckets at the given cut points
 // (those inside the dimension's support), distributing each cell's
 // mass proportionally to sub-bucket width, per uniform-within-bucket.
-// The result represents the same distribution on a finer grid.
+// The result represents the same distribution on a finer grid. When
+// every cut falls outside the support the receiver itself is returned;
+// treat the result as read-only.
 func (m *Multi) RefineDim(d int, cuts []float64) (*Multi, error) {
 	if d < 0 || d >= m.Dims() {
 		return nil, fmt.Errorf("hist: refine dim %d out of range", d)
@@ -346,33 +617,11 @@ func (m *Multi) RefineDim(d int, cuts []float64) (*Multi, error) {
 	}
 	sort.Float64s(merged)
 	merged = dedupFloats(merged)
-
-	bounds := make([][]float64, m.Dims())
-	copy(bounds, m.bounds)
-	bounds[d] = merged
-	out, err := NewMulti(bounds)
+	t, err := NewRemapTable(old, merged)
 	if err != nil {
 		return nil, err
 	}
-	// Map each old bucket on d to its new sub-bucket range.
-	type span struct{ first, last int } // inclusive new-bucket indices
-	spans := make([]span, len(old)-1)
-	for i := 0; i+1 < len(old); i++ {
-		first := sort.SearchFloat64s(merged, old[i])
-		last := sort.SearchFloat64s(merged, old[i+1]) - 1
-		spans[i] = span{first, last}
-	}
-	for k, v := range m.cells {
-		sp := spans[k[d]]
-		oldLo, oldHi := old[k[d]], old[k[d]+1]
-		for ni := sp.first; ni <= sp.last; ni++ {
-			frac := (merged[ni+1] - merged[ni]) / (oldHi - oldLo)
-			nk := k
-			nk[d] = uint16(ni)
-			out.cells[nk] += v * frac
-		}
-	}
-	return out, nil
+	return m.RemapDimTable(d, t)
 }
 
 // RemapDim rebuilds dimension d onto newBounds, a strictly increasing
@@ -380,12 +629,37 @@ func (m *Multi) RefineDim(d int, cuts []float64) (*Multi, error) {
 // extend beyond the current support; the extension cells simply stay
 // empty). Unlike RefineDim this aligns histograms with *different*
 // supports onto one shared grid, which the Equation 2 evaluators need
-// when two factors disagree about an edge's cost range.
+// when two factors disagree about an edge's cost range. When newBounds
+// equals the current boundary set the receiver itself is returned (the
+// evaluator's common case); treat the result as read-only, and do not
+// modify newBounds afterwards — the result references it.
 func (m *Multi) RemapDim(d int, newBounds []float64) (*Multi, error) {
 	if d < 0 || d >= m.Dims() {
 		return nil, fmt.Errorf("hist: remap dim %d out of range", d)
 	}
-	old := m.bounds[d]
+	t, err := NewRemapTable(m.bounds[d], newBounds)
+	if err != nil {
+		return nil, err
+	}
+	return m.RemapDimTable(d, t)
+}
+
+// RemapTable is the precomputed index translation of one RemapDim: for
+// every old bucket, the run of new buckets it splits into and the
+// width fraction of each, so applying the remap — possibly to several
+// histograms sharing the boundary set, as the evaluator's overlap
+// alignment does — never re-derives spans or fractions per cell.
+type RemapTable struct {
+	oldBounds, newBounds []float64
+	identity             bool
+	first                []int     // first[i]: first new bucket of old bucket i
+	off                  []int     // fracs[off[i]:off[i+1]] belong to old bucket i
+	fracs                []float64 // width fraction of each new sub-bucket
+}
+
+// NewRemapTable validates that newBounds contains every boundary of
+// old and precomputes the per-bucket translation spans and fractions.
+func NewRemapTable(old, newBounds []float64) (*RemapTable, error) {
 	// Every old boundary must appear in newBounds so old cells map to
 	// whole runs of new cells.
 	for _, b := range old {
@@ -394,36 +668,110 @@ func (m *Multi) RemapDim(d int, newBounds []float64) (*Multi, error) {
 			return nil, fmt.Errorf("hist: remap boundary %v missing from new grid", b)
 		}
 	}
-	bounds := make([][]float64, m.Dims())
-	copy(bounds, m.bounds)
-	bounds[d] = newBounds
-	out, err := NewMulti(bounds)
-	if err != nil {
-		return nil, err
+	t := &RemapTable{oldBounds: old, newBounds: newBounds}
+	if len(old) == len(newBounds) {
+		// Containment plus equal length means the sets are identical.
+		t.identity = true
+		return t, nil
 	}
-	type span struct{ first, last int }
-	spans := make([]span, len(old)-1)
-	for i := 0; i+1 < len(old); i++ {
+	nb := len(old) - 1
+	t.first = make([]int, nb)
+	t.off = make([]int, nb+1)
+	for i := 0; i < nb; i++ {
 		first := sort.SearchFloat64s(newBounds, old[i])
 		last := sort.SearchFloat64s(newBounds, old[i+1]) - 1
-		spans[i] = span{first, last}
+		t.first[i] = first
+		t.off[i+1] = t.off[i] + (last - first + 1)
 	}
-	for k, v := range m.cells {
-		sp := spans[k[d]]
-		oldLo, oldHi := old[k[d]], old[k[d]+1]
-		for ni := sp.first; ni <= sp.last; ni++ {
-			frac := (newBounds[ni+1] - newBounds[ni]) / (oldHi - oldLo)
-			nk := k
-			nk[d] = uint16(ni)
-			out.cells[nk] += v * frac
+	t.fracs = make([]float64, t.off[nb])
+	for i := 0; i < nb; i++ {
+		oldLo, oldHi := old[i], old[i+1]
+		for j, ni := t.off[i], t.first[i]; j < t.off[i+1]; j, ni = j+1, ni+1 {
+			t.fracs[j] = (newBounds[ni+1] - newBounds[ni]) / (oldHi - oldLo)
 		}
+	}
+	return t, nil
+}
+
+// RemapDimTable applies a precomputed remap table to dimension d. The
+// identity table returns the receiver unchanged (read-only contract).
+//
+// The rebuild is a single linear pass that emits cells already in
+// sorted order: cells sharing key[0..d] form contiguous sub-runs in
+// the sorted input, each sub-run expands to its new-bucket span in
+// ascending span order, and distinct sub-runs expand to disjoint,
+// ordered key ranges — so no sorting and no per-cell searching happen.
+func (m *Multi) RemapDimTable(d int, t *RemapTable) (*Multi, error) {
+	if d < 0 || d >= m.Dims() {
+		return nil, fmt.Errorf("hist: remap dim %d out of range", d)
+	}
+	if !floatsEqual(m.bounds[d], t.oldBounds) {
+		return nil, fmt.Errorf("hist: remap table built for different boundaries on dim %d", d)
+	}
+	if t.identity {
+		return m, nil
+	}
+	out := newMultiFromPool(len(m.bounds), len(m.keys)+len(m.keys)/2)
+	copy(out.bounds, m.bounds)
+	out.bounds[d] = t.newBounds
+	n := len(m.keys)
+	for i := 0; i < n; {
+		// Sub-run [i, j): cells identical through dimension d.
+		j := i + 1
+		for j < n && samePrefixThrough(m.keys[i], m.keys[j], d) {
+			j++
+		}
+		od := int(m.keys[i][d])
+		base, span := t.off[od], t.off[od+1]-t.off[od]
+		for s := 0; s < span; s++ {
+			frac := t.fracs[base+s]
+			ni := uint16(t.first[od] + s)
+			for c := i; c < j; c++ {
+				nk := m.keys[c]
+				nk[d] = ni
+				out.keys = append(out.keys, nk)
+				out.probs = append(out.probs, m.probs[c]*frac)
+			}
+		}
+		i = j
 	}
 	return out, nil
 }
 
+// samePrefixThrough reports whether a and b agree on dimensions 0..d
+// inclusive.
+func samePrefixThrough(a, b CellKey, d int) bool {
+	for i := 0; i <= d; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
+	for i, x := range a {
+		if b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
 // UnionBounds merges two boundary sets into one strictly increasing
-// set covering both supports.
+// set covering both supports. Equal inputs return the first operand
+// itself — the evaluator's common case — so the result may alias an
+// input; treat it as read-only.
 func UnionBounds(a, b []float64) []float64 {
+	if floatsEqual(a, b) && len(a) > 0 {
+		return a
+	}
 	merged := make([]float64, 0, len(a)+len(b))
 	merged = append(merged, a...)
 	merged = append(merged, b...)

@@ -294,7 +294,9 @@ func TestMultiCapturesDependenceThatConvolutionMisses(t *testing.T) {
 func TestMultiStorageFloats(t *testing.T) {
 	m := mustMulti(t, [][]float64{{0, 1, 2}, {0, 1}})
 	m.SetCell([]int{0, 0}, 1)
-	want := (3 + 2) + 2*1
+	// Boundaries plus, per occupied cell, the columnar key (MaxDims
+	// uint16s = 3 float-equivalents) and one probability.
+	want := (3 + 2) + (3+1)*1
 	if got := m.StorageFloats(); got != want {
 		t.Fatalf("StorageFloats = %d, want %d", got, want)
 	}

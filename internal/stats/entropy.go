@@ -28,12 +28,16 @@ func EntropyHistogram(h *hist.Histogram) float64 {
 // Theorem 2 under the histogram representation.
 func EntropyMulti(m *hist.Multi) float64 {
 	var e float64
-	// Sorted order: float accumulation is not associative, so map-order
-	// iteration would make repeated entropy computations differ at the
-	// bit level between runs (see hist.Multi.Total).
-	m.ForEachSorted(func(k hist.CellKey, pr float64) {
+	// Sorted order: float accumulation is not associative, so an
+	// arbitrary iteration order would make repeated entropy
+	// computations differ at the bit level between runs (see
+	// hist.Multi.Total). The columnar store keeps cells in exactly
+	// this order, so the scan is direct.
+	keys, probs := m.Cells()
+	for i, k := range keys {
+		pr := probs[i]
 		if pr <= 0 {
-			return
+			continue
 		}
 		vol := 1.0
 		for d := 0; d < m.Dims(); d++ {
@@ -41,7 +45,7 @@ func EntropyMulti(m *hist.Multi) float64 {
 			vol *= hi - lo
 		}
 		e -= pr * math.Log(pr/vol)
-	})
+	}
 	return e
 }
 

@@ -408,6 +408,11 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 		// and flight entry.
 		m = OD
 	}
+	if s.qcache.Load() == nil && acquire == nil {
+		// Uncached, ungated: skip the closure machinery entirely (the
+		// loop below would take this branch anyway).
+		return s.compute(p, depart, m)
+	}
 	gated := func() (*QueryResult, error) {
 		if acquire != nil {
 			if !acquire() {

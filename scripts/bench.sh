@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — benchmark trajectory for the convolution/memo/synopsis
+# engine. Runs the root benchmarks with -benchmem, parses ns/op,
+# B/op and allocs/op, and writes them as JSON (default: BENCH_5.json)
+# so perf changes land with recorded numbers instead of anecdotes.
+#
+# Usage:
+#   sh scripts/bench.sh              # writes BENCH_5.json
+#   sh scripts/bench.sh out.json     # custom output path
+#   BENCHTIME=5s sh scripts/bench.sh # custom -benchtime
+set -eu
+
+OUT=${1:-BENCH_5.json}
+BENCHTIME=${BENCHTIME:-2s}
+PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$'
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run='^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ && /allocs\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[n]     = $i
+        if ($(i+1) == "B/op")      bytes[n]  = $i
+        if ($(i+1) == "allocs/op") allocs[n] = $i
+    }
+    names[n] = name
+    n++
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], ns[i], bytes[i], allocs[i], (i+1 < n) ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
