@@ -57,7 +57,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for map matching and training (≤1 = sequential)")
 	cacheSize := flag.Int("cache", 0, "query-distribution cache capacity in entries (0 = disabled)")
 	memoSize := flag.Int("memo", 0, "sub-path convolution memo capacity in prefix states (0 = disabled)")
-	batchN := flag.Int("batch", 0, "batch mode: run this many concurrent prefix-sharing queries with the memo off and on, verify identical results, report the speedup (overrides the command)")
+	batchN := flag.Int("batch", 0, "batch mode: run this many prefix-sharing queries independently and through the batch planner, verify identical results, report the speedup (overrides the command)")
 	synSize := flag.Int("synopsis", 0, "offline sub-path synopsis entry budget (0 = disabled); built from a synthetic prefix-heavy workload and saved with -save-model")
 	synBytes := flag.Int("synopsis-bytes", 0, "synopsis byte budget for the serialized entries (0 = unbounded)")
 	synWorkload := flag.Int("synopsis-workload", 512, "workload-sample size used to train the synopsis")
@@ -383,17 +383,18 @@ func runRoute(sys *pathcost.System, depart, budgetMult float64) {
 // runBatch is the offline twin of the server's /v1/batch: it builds a
 // prefix-sharing workload (queries from a few trunk paths, as a
 // router exploring candidates from one source would produce), answers
-// it concurrently with the convolution memo off and then on, verifies
-// the two result sets are identical, and reports the speedup.
+// it once independently (each query evaluated in full, concurrently)
+// and once through the batch planner (shared sub-path convolutions
+// evaluated exactly once), verifies the two result sets are
+// byte-identical, and reports the speedup plus the planner's sharing
+// counters. Both runs keep the memo and cache off so the comparison
+// isolates the planner.
 func runBatch(sys *pathcost.System, n, card int, depart float64, workers, memoSize int) {
 	if card < 2 {
 		card = 2
 	}
 	if workers < 1 {
 		workers = 1
-	}
-	if memoSize <= 0 {
-		memoSize = 1 << 16
 	}
 	rnd := rand.New(rand.NewSource(7))
 	trunks := n / 16
@@ -408,48 +409,59 @@ func runBatch(sys *pathcost.System, n, card int, depart float64, workers, memoSi
 		}
 		pool = append(pool, p)
 	}
-	queries := make([]pathcost.Path, n)
+	queries := make([]pathcost.PlanQuery, n)
 	for i := range queries {
 		trunk := pool[rnd.Intn(len(pool))]
-		queries[i] = trunk[:2+rnd.Intn(len(trunk)-1)]
-	}
-
-	run := func() ([]*pathcost.QueryResult, time.Duration) {
-		results := make([]*pathcost.QueryResult, len(queries))
-		t0 := time.Now()
-		var wg sync.WaitGroup
-		idx := make(chan int, workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					res, err := sys.PathDistribution(queries[i], depart, pathcost.OD)
-					if err != nil {
-						fatal(err)
-					}
-					results[i] = res
-				}
-			}()
+		queries[i] = pathcost.PlanQuery{
+			Path:   trunk[:2+rnd.Intn(len(trunk)-1)],
+			Depart: depart,
 		}
-		for i := range queries {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-		return results, time.Since(t0)
 	}
 
 	fmt.Printf("batch: %d distribution queries over %d trunk paths (≤%d edges), %d workers\n",
 		n, trunks, card, workers)
 	sys.EnableConvMemo(0)
-	plain, plainDur := run()
-	sys.EnableConvMemo(memoSize)
-	memod, memoDur := run()
+	sys.EnableQueryCache(0)
+	_ = memoSize // the planner comparison runs memo-free on both sides
+
+	// Independent: every query evaluated in full, concurrently — what
+	// /v1/batch did before planning existed.
+	independent := make([]*pathcost.QueryResult, n)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	idx := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := sys.PathDistribution(queries[i].Path, queries[i].Depart, pathcost.OD)
+				if err != nil {
+					fatal(err)
+				}
+				independent[i] = res
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	indepDur := time.Since(t0)
+
+	// Planned: the whole batch through the prefix trie.
+	sys.EnableBatchPlanner(workers)
+	t0 = time.Now()
+	planned, stats := sys.PlanDistributions(nil, queries, nil, nil)
+	planDur := time.Since(t0)
 
 	identical := true
-	for i := range plain {
-		a, b := plain[i].Dist.Buckets(), memod[i].Dist.Buckets()
+	for i := range independent {
+		if planned[i].Err != nil {
+			fatal(planned[i].Err)
+		}
+		a, b := independent[i].Dist.Buckets(), planned[i].Res.Dist.Buckets()
 		if len(a) != len(b) {
 			identical = false
 			break
@@ -461,14 +473,17 @@ func runBatch(sys *pathcost.System, n, card int, depart float64, workers, memoSi
 			}
 		}
 	}
-	speedup := float64(plainDur) / float64(memoDur)
-	fmt.Printf("  memo off: %v (%.0f queries/s)\n", plainDur.Round(time.Millisecond),
-		float64(n)/plainDur.Seconds())
-	fmt.Printf("  memo on:  %v (%.0f queries/s), %.1fx faster\n", memoDur.Round(time.Millisecond),
-		float64(n)/memoDur.Seconds(), speedup)
+	speedup := float64(indepDur) / float64(planDur)
+	fmt.Printf("  independent: %v (%.0f queries/s)\n", indepDur.Round(time.Millisecond),
+		float64(n)/indepDur.Seconds())
+	fmt.Printf("  planned:     %v (%.0f queries/s), %.1fx faster\n", planDur.Round(time.Millisecond),
+		float64(n)/planDur.Seconds(), speedup)
+	fmt.Printf("  plan: %d unique sub-paths (%d shared) for %d chain steps independent evaluation needs; %d convolved, %d probe hits, %d steps saved\n",
+		stats.Nodes, stats.SharedNodes, stats.IndependentSteps,
+		stats.Convolutions, stats.ProbeHits, stats.SavedSteps())
 	fmt.Printf("  results byte-identical: %v\n", identical)
 	if !identical {
-		fatal(fmt.Errorf("memoized batch diverged from unmemoized results"))
+		fatal(fmt.Errorf("planned batch diverged from independent results"))
 	}
 }
 

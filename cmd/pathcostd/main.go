@@ -51,6 +51,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -70,6 +71,7 @@ func main() {
 	modelFile := flag.String("model", "", "trained model file to serve (requires -network)")
 	cacheSize := flag.Int("cache", 4096, "query-distribution cache capacity in entries (0 = disabled); cached answers are shared per departure α-interval")
 	memoSize := flag.Int("memo", 4096, "sub-path convolution memo capacity in prefix states (0 = disabled); exact — memoized answers are byte-identical")
+	planWorkers := flag.Int("plan-workers", runtime.NumCPU(), "batch-planner worker pool: /v1/batch plans its distribution entries as one unit so shared sub-paths are convolved once (0 = planner disabled); exact — planned answers are byte-identical")
 	useSynopsis := flag.Bool("synopsis", true, "serve the offline sub-path synopsis embedded in -model, when present (false drops it after load)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluated queries (0 = default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
@@ -91,6 +93,9 @@ func main() {
 	}
 	if *memoSize > 0 {
 		sys.EnableConvMemo(*memoSize)
+	}
+	if *planWorkers > 0 {
+		sys.EnableBatchPlanner(*planWorkers)
 	}
 	st := sys.Stats()
 	logger.Printf("serving %d vertices / %d edges, %d variables, coverage %.1f%% on %s",
@@ -119,6 +124,9 @@ func main() {
 			}
 			if *memoSize > 0 {
 				next.EnableConvMemo(*memoSize)
+			}
+			if *planWorkers > 0 {
+				next.EnableBatchPlanner(*planWorkers)
 			}
 			srv.Swap(next)
 			logger.Printf("SIGHUP: reloaded model from %s (%d variables)",

@@ -482,6 +482,21 @@ func (h *HybridGraph) CostDistributionWith(syn *SynopsisStore, m *ConvMemo, p gr
 	if err != nil {
 		return nil, err
 	}
+	res, err := h.stateResult(st)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing = Timing{JC: time.Since(t0)}
+	return res, nil
+}
+
+// stateResult converts a fully evaluated chain state into a
+// QueryResult, mirroring Evaluate's single-factor shortcut. It is the
+// one result-assembly path shared by CostDistributionWith and the
+// batch planner, which is what makes planned and independent answers
+// byte-identical by construction. Timing is left zero for the caller
+// to fill.
+func (h *HybridGraph) stateResult(st *PathState) (*QueryResult, error) {
 	de := st.de
 	res := &QueryResult{
 		Decomp: de,
@@ -507,6 +522,5 @@ func (h *HybridGraph) CostDistributionWith(syn *SynopsisStore, m *ConvMemo, p gr
 		res.Dist = dist
 	}
 	res.Stats.ResultBuckets = res.Dist.NumBuckets()
-	res.Timing = Timing{JC: time.Since(t0)}
 	return res, nil
 }

@@ -36,6 +36,15 @@ type Options struct {
 	MaxExpansions int
 	// MaxEdges bounds candidate path cardinality (0 = 150).
 	MaxEdges int
+	// BatchWorkers > 1 evaluates each DFS node's sibling expansions as
+	// one implicit batch on a worker pool of that size (their common
+	// sub-expression is the parent's chain state): the DFS-frontier
+	// form of batch planning. BestPath requires Incremental for it;
+	// TopKPaths/SkylinePaths are always incremental. Results are
+	// byte-identical to sequential expansion because each extension
+	// goes through the same synopsis → memo → compute probe order and
+	// all pruning decisions stay in the sequential consuming loop.
+	BatchWorkers int
 }
 
 // Result reports the best path found.
@@ -144,6 +153,10 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 	best := 0.0
 	memo := r.memo.Load()
 	syn := r.synopsis.Load()
+	var batch *core.BatchPlanner
+	if opt.Incremental && opt.BatchWorkers > 1 {
+		batch = core.NewBatchPlanner(r.h, opt.BatchWorkers)
+	}
 	visited := make(map[graph.VertexID]bool)
 	visited[q.Source] = true
 
@@ -158,6 +171,8 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 		sort.Slice(outs, func(i, j int) bool {
 			return lb[g.Edge(outs[i]).To] < lb[g.Edge(outs[j]).To]
 		})
+		bpos, bstates, berrs := frontierBatch(batch, syn, memo, g, lb, visited,
+			state, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap}, outs)
 		for _, eid := range outs {
 			e := g.Edge(eid)
 			if visited[e.To] {
@@ -173,7 +188,9 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 			var dist *hist.Histogram
 			var err error
 			if opt.Incremental {
-				if state == nil {
+				if i, ok := bpos[eid]; ok {
+					ns, err = bstates[i], berrs[i]
+				} else if state == nil {
 					ns, err = r.h.StartPathWith(syn, memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
 				} else {
 					ns, err = r.h.ExtendPathWith(syn, memo, state, eid)
@@ -228,6 +245,44 @@ func (r *Router) BestPath(q Query, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("routing: no path to destination found within limits")
 	}
 	return res, nil
+}
+
+// frontierBatch pre-evaluates the extensions of one DFS node's chain
+// state by every eligible out-edge concurrently through the batch
+// planner — the sibling expansions are one implicit batch whose
+// common sub-expression is the parent state. It returns a positional
+// lookup (edge → slot) into states/errs, or a nil map when batching
+// is off or fewer than two extensions are eligible (sequential
+// evaluation is then strictly cheaper). Eligibility mirrors exactly
+// the consuming loop's skip conditions that are stable across the
+// loop (visited, unreachable); the loop's explored-cap cutoff is not
+// mirrored, so a search that hits its cap mid-frontier may evaluate a
+// few unused states — they feed the shared memo but alter no counter
+// or result, keeping answers byte-identical to sequential expansion.
+func frontierBatch(bp *core.BatchPlanner, syn *core.SynopsisStore, memo *core.ConvMemo,
+	g *graph.Graph, lb []float64, visited map[graph.VertexID]bool,
+	state *core.PathState, t float64, opt core.QueryOptions, outs []graph.EdgeID,
+) (map[graph.EdgeID]int, []*core.PathState, []error) {
+	if bp == nil {
+		return nil, nil, nil
+	}
+	edges := make([]graph.EdgeID, 0, len(outs))
+	for _, eid := range outs {
+		e := g.Edge(eid)
+		if visited[e.To] || isInf(lb[e.To]) {
+			continue
+		}
+		edges = append(edges, eid)
+	}
+	if len(edges) < 2 {
+		return nil, nil, nil
+	}
+	states, errs := bp.ExtendAll(syn, memo, state, t, opt, edges)
+	pos := make(map[graph.EdgeID]int, len(edges))
+	for i, eid := range edges {
+		pos[eid] = i
+	}
+	return pos, states, errs
 }
 
 // FastestPath is the deterministic comparison baseline: the free-flow

@@ -57,6 +57,10 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 	explored := 0
 	memo := r.memo.Load()
 	syn := r.synopsis.Load()
+	var batch *core.BatchPlanner
+	if opt.BatchWorkers > 1 {
+		batch = core.NewBatchPlanner(r.h, opt.BatchWorkers)
+	}
 	visited := make(map[graph.VertexID]bool)
 	visited[q.Source] = true
 
@@ -69,6 +73,8 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 		sort.Slice(outs, func(i, j int) bool {
 			return lb[g.Edge(outs[i]).To] < lb[g.Edge(outs[j]).To]
 		})
+		bpos, bstates, berrs := frontierBatch(batch, syn, memo, g, lb, visited,
+			state, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap}, outs)
 		for _, eid := range outs {
 			e := g.Edge(eid)
 			if visited[e.To] || isInf(lb[e.To]) {
@@ -79,7 +85,9 @@ func (r *Router) TopKPaths(q Query, k int, opt Options) ([]TopKResult, error) {
 			}
 			var ns *core.PathState
 			var err error
-			if state == nil {
+			if i, ok := bpos[eid]; ok {
+				ns, err = bstates[i], berrs[i]
+			} else if state == nil {
 				ns, err = r.h.StartPathWith(syn, memo, eid, q.Depart, core.QueryOptions{Method: opt.Method, RankCap: opt.RankCap})
 			} else {
 				ns, err = r.h.ExtendPathWith(syn, memo, state, eid)

@@ -45,6 +45,7 @@ func fuzzServer(t testing.TB) *Server {
 		}
 		sys.EnableQueryCache(256)
 		sys.EnableConvMemo(512)
+		sys.EnableBatchPlanner(4)
 		fuzzSrv = New(sys, Config{MaxInFlight: 8, MaxBatch: 16, MaxPathEdges: 64})
 	})
 	if fuzzErr != nil {
@@ -96,6 +97,17 @@ func FuzzServerBatch(f *testing.F) {
 	f.Add([]byte(`{"queries":null}`))
 	f.Add([]byte(`{"queries":[{"path":[-1],"depart":-5}],"extra":1}`))
 	f.Add([]byte(`[1,2,3]`))
+	// Overlapping-path batches drive the batch planner's prefix trie:
+	// shared trunks, duplicate entries, and an invalid entry whose
+	// prefixes belong to the valid ones.
+	f.Add([]byte(`{"queries":[{"path":[0,1,2,3],"depart":28800},` +
+		`{"path":[0,1,2],"depart":28800},{"path":[0,1],"depart":28800},` +
+		`{"path":[0,1,2,3],"depart":28800}]}`))
+	f.Add([]byte(`{"queries":[{"path":[0,1,2],"depart":28800},` +
+		`{"path":[0,1,2,0],"depart":28800},{"path":[0,1],"depart":28800,"method":"HP"}]}`))
+	f.Add([]byte(`{"queries":[{"path":[0,1],"depart":28800,"method":"RD"},` +
+		`{"path":[0,1],"depart":28800,"method":"LB"},` +
+		`{"kind":"route","source":0,"dest":5,"depart":28800,"budget":900}]}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		postFuzzBody(t, "/v1/batch", body)
 	})

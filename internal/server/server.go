@@ -296,6 +296,7 @@ type statsResponse struct {
 	Cache    *cacheStatsJSON    `json:"cache,omitempty"`
 	Memo     *cacheStatsJSON    `json:"memo,omitempty"`
 	Synopsis *synopsisStatsJSON `json:"synopsis,omitempty"`
+	Planner  *plannerStatsJSON  `json:"planner,omitempty"`
 
 	UptimeS     float64 `json:"uptime_s"`
 	Served      uint64  `json:"served"`
@@ -322,6 +323,26 @@ type synopsisStatsJSON struct {
 	Hits    uint64  `json:"hits"`
 	Misses  uint64  `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+}
+
+// plannerStatsJSON reports the batch planner's accumulated
+// effectiveness: of the independent_steps chain steps the planned
+// batches would have cost evaluated one query at a time, only
+// convolutions were executed and probe_hits were answered by the
+// synopsis or memo; saved_steps is the remainder the prefix trie
+// eliminated outright.
+type plannerStatsJSON struct {
+	Workers          int `json:"workers"`
+	Batches          int `json:"batches"`
+	Queries          int `json:"queries"`
+	Planned          int `json:"planned"`
+	Fallback         int `json:"fallback"`
+	Nodes            int `json:"nodes"`
+	SharedNodes      int `json:"shared_nodes"`
+	Convolutions     int `json:"convolutions"`
+	ProbeHits        int `json:"probe_hits"`
+	IndependentSteps int `json:"independent_steps"`
+	SavedSteps       int `json:"saved_steps"`
 }
 
 // --- validation helpers ----------------------------------------------
@@ -413,14 +434,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.writeOutcome(w, status, msg, resp)
 }
 
-// handleBatch answers N queries in one request. Entries evaluate
-// concurrently against one system snapshot (a mid-batch Swap never
-// splits a batch across models), each charged individually under the
-// MaxInFlight gate, and overlapping entries reuse each other's
-// sub-path convolutions when the served system has a memo enabled
-// (pathcostd -memo). One invalid entry fails that entry, not the
-// batch: per-entry status codes carry what each query would have
-// received standalone.
+// handleBatch answers N queries in one request, against one system
+// snapshot (a mid-batch Swap never splits a batch across models).
+// When the served system has a batch planner (pathcostd
+// -plan-workers), every distribution entry is planned as one unit:
+// overlapping paths share each sub-path convolution outright, charged
+// as one computation under the MaxInFlight gate. Remaining entries
+// (route, topk — and all entries when no planner is enabled) evaluate
+// concurrently, each charged individually under the same gate. One
+// invalid entry fails that entry, not the batch: per-entry status
+// codes carry what each query would have received standalone, planned
+// or not.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if !s.readRequest(w, r, &req) {
@@ -438,8 +462,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sys := s.System()
 	ctx := r.Context()
 	results := make([]batchResult, len(req.Queries))
+	var handled []bool
+	if sys.Planner() != nil {
+		handled = s.planBatchDistributions(ctx, sys, req.Queries, results)
+	}
 	var wg sync.WaitGroup
 	for i := range req.Queries {
+		if handled != nil && handled[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -451,6 +482,58 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return // client gone; entries already accounted their shed work
 	}
 	s.writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// planBatchDistributions answers every distribution-kind entry of a
+// batch through the system's batch planner and marks them handled.
+// Entries failing validation get their 400 here (and are handled too
+// — validation needs no planning); valid ones are planned together so
+// shared sub-paths are convolved once. A per-entry evaluation failure
+// maps through queryErrorStatus exactly like a standalone request,
+// and never poisons entries sharing its prefixes (the planner
+// contains failures to the failing node's own subtree).
+func (s *Server) planBatchDistributions(ctx context.Context, sys *pathcost.System, queries []batchQuery, results []batchResult) []bool {
+	handled := make([]bool, len(queries))
+	var idx []int // planned entry → queries index
+	var plan []pathcost.PlanQuery
+	var methods []pathcost.Method
+	for i := range queries {
+		q := &queries[i]
+		kind := strings.ToLower(strings.TrimSpace(q.Kind))
+		if kind != "" && kind != "distribution" {
+			continue
+		}
+		handled[i] = true
+		results[i] = batchResult{Kind: "distribution"}
+		m, p, err := s.checkDistribution(sys, &distributionRequest{
+			Path: q.Path, Depart: q.Depart, Method: q.Method, Budget: q.Budget,
+		})
+		if err != nil {
+			results[i].Status, results[i].Error = http.StatusBadRequest, err.Error()
+			continue
+		}
+		idx = append(idx, i)
+		plan = append(plan, pathcost.PlanQuery{
+			Path: p, Depart: q.Depart, Opt: pathcost.QueryOptions{Method: m},
+		})
+		methods = append(methods, m)
+	}
+	if len(plan) == 0 {
+		return handled
+	}
+	// One gate slot covers the whole planned evaluation: the plan is
+	// one CPU-bound computation, however many entries it answers.
+	res, _ := sys.PlanDistributions(ctx, plan,
+		func() bool { return s.acquire(ctx) }, s.release)
+	for j, i := range idx {
+		if err := res[j].Err; err != nil {
+			results[i].Status, results[i].Error = s.queryErrorStatus(ctx, err)
+			continue
+		}
+		results[i].Status = http.StatusOK
+		results[i].Distribution = distributionJSON(sys, methods[j], queries[i].Depart, queries[i].Budget, res[j].Res)
+	}
+	return handled
 }
 
 // evalBatchEntry dispatches one batch entry by kind.
@@ -488,22 +571,55 @@ func (s *Server) evalBatchEntry(ctx context.Context, sys *pathcost.System, q *ba
 
 // --- query evaluation (shared by single-query handlers and batch) ----
 
+// checkDistribution validates one distribution request; a non-nil
+// error means a 400 with the error's message.
+func (s *Server) checkDistribution(sys *pathcost.System, req *distributionRequest) (pathcost.Method, pathcost.Path, error) {
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := checkDepart(req.Depart); err != nil {
+		return "", nil, err
+	}
+	if req.Budget < 0 {
+		return "", nil,
+			fmt.Errorf("budget %v must be ≥ 0 seconds (0 or omitted skips prob_within)", req.Budget)
+	}
+	p, err := parsePath(sys.Graph, req.Path, s.cfg.MaxPathEdges)
+	if err != nil {
+		return "", nil, err
+	}
+	return m, p, nil
+}
+
+// distributionJSON shapes one evaluated distribution result; shared
+// by the single-query path and the planned batch path so both emit
+// identical bodies.
+func distributionJSON(sys *pathcost.System, m pathcost.Method, depart, budget float64, res *pathcost.QueryResult) *distributionResponse {
+	resp := &distributionResponse{
+		Method:      string(m),
+		Interval:    sys.Params.IntervalOf(depart),
+		MeanS:       res.Dist.Mean(),
+		P10S:        res.Dist.Quantile(0.1),
+		P50S:        res.Dist.Quantile(0.5),
+		P90S:        res.Dist.Quantile(0.9),
+		Buckets:     bucketsJSON(res.Dist.Buckets()),
+		DecompPaths: res.Decomp.Cardinality(),
+		MaxRank:     res.Decomp.MaxRank(),
+		EvalUS:      res.Timing.Total().Microseconds(),
+	}
+	if budget > 0 {
+		pw := res.Dist.ProbWithin(budget)
+		resp.ProbWithin = &pw
+	}
+	return resp
+}
+
 // evalDistribution validates and answers one distribution query.
 // status 0 means the caller's client disconnected and nothing should
 // be written; any other non-200 status carries msg as the error body.
 func (s *Server) evalDistribution(ctx context.Context, sys *pathcost.System, req *distributionRequest) (*distributionResponse, int, string) {
-	m, err := parseMethod(req.Method)
-	if err != nil {
-		return nil, http.StatusBadRequest, err.Error()
-	}
-	if err := checkDepart(req.Depart); err != nil {
-		return nil, http.StatusBadRequest, err.Error()
-	}
-	if req.Budget < 0 {
-		return nil, http.StatusBadRequest,
-			fmt.Sprintf("budget %v must be ≥ 0 seconds (0 or omitted skips prob_within)", req.Budget)
-	}
-	p, err := parsePath(sys.Graph, req.Path, s.cfg.MaxPathEdges)
+	m, p, err := s.checkDistribution(sys, req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err.Error()
 	}
@@ -522,23 +638,7 @@ func (s *Server) evalDistribution(ctx context.Context, sys *pathcost.System, req
 		status, msg := s.queryErrorStatus(ctx, err)
 		return nil, status, msg
 	}
-	resp := &distributionResponse{
-		Method:      string(m),
-		Interval:    sys.Params.IntervalOf(req.Depart),
-		MeanS:       res.Dist.Mean(),
-		P10S:        res.Dist.Quantile(0.1),
-		P50S:        res.Dist.Quantile(0.5),
-		P90S:        res.Dist.Quantile(0.9),
-		Buckets:     bucketsJSON(res.Dist.Buckets()),
-		DecompPaths: res.Decomp.Cardinality(),
-		MaxRank:     res.Decomp.MaxRank(),
-		EvalUS:      res.Timing.Total().Microseconds(),
-	}
-	if req.Budget > 0 {
-		pw := res.Dist.ProbWithin(req.Budget)
-		resp.ProbWithin = &pw
-	}
-	return resp, http.StatusOK, ""
+	return distributionJSON(sys, m, req.Depart, req.Budget, res), http.StatusOK, ""
 }
 
 // evalRoute validates and answers one budget-routing query; the
@@ -636,6 +736,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Synopsis = &synopsisStatsJSON{
 			Entries: sst.Entries, Bytes: sst.Bytes,
 			Hits: sst.Hits, Misses: sst.Misses, HitRate: sst.HitRate(),
+		}
+	}
+	if pst, ok := sys.PlannerStats(); ok {
+		resp.Planner = &plannerStatsJSON{
+			Workers: pst.Workers, Batches: pst.Batches,
+			Queries: pst.Queries, Planned: pst.Planned, Fallback: pst.Fallback,
+			Nodes: pst.Nodes, SharedNodes: pst.SharedNodes,
+			Convolutions: pst.Convolutions, ProbeHits: pst.ProbeHits,
+			IndependentSteps: pst.IndependentSteps, SavedSteps: pst.SavedSteps(),
 		}
 	}
 	s.writeJSONUncounted(w, http.StatusOK, resp)

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cache"
@@ -78,6 +79,14 @@ type (
 	SynopsisConfig = core.SynopsisConfig
 	// SynopsisStats reports synopsis size and probe effectiveness.
 	SynopsisStats = core.SynopsisStats
+	// QueryOptions selects method, rank cap and seed for one query.
+	QueryOptions = core.QueryOptions
+	// PlanQuery is one entry of a planned batch (see PlanDistributions).
+	PlanQuery = core.PlanQuery
+	// PlanResult is one planned entry's outcome.
+	PlanResult = core.PlanResult
+	// PlanStats instruments one planned batch.
+	PlanStats = core.PlanStats
 )
 
 // Estimation methods (Section 5.2.2 of the paper).
@@ -141,6 +150,17 @@ type System struct {
 	// the model and persisted in its file, consulted before the
 	// runtime memo. See BuildSynopsis and AttachSynopsis.
 	synopsis atomic.Pointer[core.SynopsisStore]
+
+	// planner, when non-nil, is the batch-aware query planner:
+	// PlanDistributions hands it whole batches so overlapping query
+	// paths share each sub-path convolution outright instead of
+	// rediscovering it through the memo. See EnableBatchPlanner.
+	planner atomic.Pointer[core.BatchPlanner]
+
+	// planMu guards planAgg, the planner counters accumulated across
+	// batches for PlannerStats.
+	planMu  sync.Mutex
+	planAgg PlannerStats
 
 	// computeProbe, when non-nil, is invoked once per underlying
 	// CostDistribution computation in PathDistribution. Test seam for
@@ -315,6 +335,158 @@ func (s *System) SynopsisStats() (st SynopsisStats, ok bool) {
 		return SynopsisStats{}, false
 	}
 	return syn.Stats(), true
+}
+
+// PlannerStats aggregates batch-planner effectiveness across every
+// PlanDistributions call since EnableBatchPlanner: Batches planned,
+// plus the summed per-batch PlanStats counters. SavedSteps (from the
+// embedded PlanStats) is the total chain steps the planner eliminated
+// versus independent evaluation.
+type PlannerStats struct {
+	// Batches counts PlanDistributions calls.
+	Batches int
+	// Workers is the planner's worker-pool bound.
+	Workers int
+	PlanStats
+}
+
+// EnableBatchPlanner installs the batch-aware query planner:
+// PlanDistributions then decomposes each batch's query paths into a
+// shared prefix trie and evaluates every common sub-path convolution
+// exactly once (cross-query common-subexpression elimination), and
+// Route/TopKRoutes evaluate each DFS frontier's sibling expansions as
+// one implicit batch. Planned answers are byte-identical to
+// independent evaluation — the planner builds the same chain states
+// through the same synopsis → memo → compute probe order.
+//
+// workers bounds the planner's evaluation pool; ≤ 0 means GOMAXPROCS.
+// Safe to call while queries are in flight (the pointer swaps
+// atomically); calling it again resets the accumulated PlannerStats.
+func (s *System) EnableBatchPlanner(workers int) {
+	s.planMu.Lock()
+	s.planAgg = PlannerStats{}
+	s.planMu.Unlock()
+	s.planner.Store(core.NewBatchPlanner(s.Hybrid, workers))
+}
+
+// DisableBatchPlanner removes the planner; PlanDistributions then
+// falls back to an ephemeral planner per call (still correct, no
+// stats), and routing reverts to sequential expansion.
+func (s *System) DisableBatchPlanner() { s.planner.Store(nil) }
+
+// Planner returns the installed batch planner, or nil.
+func (s *System) Planner() *core.BatchPlanner { return s.planner.Load() }
+
+// PlannerStats snapshots the accumulated planner counters; ok is
+// false when no planner is enabled.
+func (s *System) PlannerStats() (st PlannerStats, ok bool) {
+	bp := s.planner.Load()
+	if bp == nil {
+		return PlannerStats{}, false
+	}
+	s.planMu.Lock()
+	st = s.planAgg
+	s.planMu.Unlock()
+	st.Workers = bp.Workers()
+	return st, true
+}
+
+// PlanDistributions answers a batch of distribution queries through
+// the batch planner: overlapping query paths share every common
+// sub-path convolution, evaluated once across a bounded worker pool.
+// Results are positional and byte-identical to evaluating each query
+// independently. Per-entry failures stay per-entry — one unanswerable
+// query never poisons the sub-paths it shares with valid ones.
+//
+// The query cache (EnableQueryCache), when enabled, fronts the plan:
+// entries it answers keep its documented α-interval approximation,
+// and planned results fill it for later single queries. Unlike
+// PathDistributionGated, planned cache misses do not engage the
+// singleflight — the plan itself already collapses duplicate work
+// inside the batch.
+//
+// acquire/release follow the PathDistributionGated contract, charged
+// once for the whole planned evaluation (one batch is one CPU-bound
+// computation): acquire runs only when at least one entry missed the
+// cache, and acquire returning false fails those entries with
+// ErrGateRejected. Either hook may be nil. The returned PlanStats
+// covers the planned (cache-miss) portion of the batch.
+func (s *System) PlanDistributions(ctx context.Context, queries []PlanQuery,
+	acquire func() bool, release func()) ([]PlanResult, PlanStats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bp := s.planner.Load()
+	installed := bp != nil
+	if !installed {
+		bp = core.NewBatchPlanner(s.Hybrid, 0)
+	}
+	out := make([]PlanResult, len(queries))
+	c := s.qcache.Load()
+	miss := make([]int, 0, len(queries))
+	missQ := make([]PlanQuery, 0, len(queries))
+	for i, q := range queries {
+		m := q.Opt.Method
+		if m == "" {
+			m = OD
+		}
+		// Only default-shaped queries (no rank cap) share the query
+		// cache: its keys carry (path, α-interval, method) and nothing
+		// else, exactly PathDistribution's key space.
+		if c != nil && q.Opt.RankCap == 0 && len(q.Path) > 0 {
+			if res, ok := c.Get(s.queryKey(q.Path, q.Depart, m)); ok {
+				out[i] = PlanResult{Res: res}
+				continue
+			}
+		}
+		miss = append(miss, i)
+		missQ = append(missQ, q)
+	}
+	var stats PlanStats
+	if len(miss) > 0 {
+		gated := func() bool {
+			if acquire != nil {
+				if !acquire() {
+					return false
+				}
+				if release != nil {
+					defer release()
+				}
+			}
+			res, st := bp.Distributions(ctx, s.synopsis.Load(), s.convMemo.Load(), missQ)
+			stats = st
+			for j, i := range miss {
+				out[i] = res[j]
+				if c != nil && res[j].Err == nil && missQ[j].Opt.RankCap == 0 {
+					m := missQ[j].Opt.Method
+					if m == "" {
+						m = OD
+					}
+					c.Put(s.queryKey(missQ[j].Path, missQ[j].Depart, m), res[j].Res)
+				}
+			}
+			return true
+		}
+		if !gated() {
+			for _, i := range miss {
+				out[i] = PlanResult{Err: ErrGateRejected}
+			}
+		}
+	}
+	if installed {
+		s.planMu.Lock()
+		s.planAgg.Batches++
+		s.planAgg.Queries += stats.Queries
+		s.planAgg.Planned += stats.Planned
+		s.planAgg.Fallback += stats.Fallback
+		s.planAgg.Nodes += stats.Nodes
+		s.planAgg.SharedNodes += stats.SharedNodes
+		s.planAgg.Convolutions += stats.Convolutions
+		s.planAgg.ProbeHits += stats.ProbeHits
+		s.planAgg.IndependentSteps += stats.IndependentSteps
+		s.planMu.Unlock()
+	}
+	return out, stats
 }
 
 // SyntheticWorkload samples a prefix-heavy query log: trunk paths of
@@ -499,11 +671,25 @@ func (s *System) GroundTruth(p Path, depart float64) (*Histogram, int, error) {
 }
 
 // Route answers a probabilistic budget query: the path from src to dst
-// maximizing P(travel time ≤ budget) when departing at depart.
+// maximizing P(travel time ≤ budget) when departing at depart. With a
+// batch planner enabled (EnableBatchPlanner), each DFS frontier's
+// sibling expansions evaluate as one implicit batch on the planner's
+// worker pool; the answer is byte-identical either way.
 func (s *System) Route(src, dst VertexID, depart, budget float64, m Method) (*RouteResult, error) {
 	return s.Router.BestPath(routing.Query{
 		Source: src, Dest: dst, Depart: depart, Budget: budget,
-	}, routing.Options{Method: m, Incremental: true})
+	}, s.routeOptions(m))
+}
+
+// routeOptions assembles the routing options shared by Route and
+// TopKRoutes, propagating the batch planner's worker bound when one
+// is enabled.
+func (s *System) routeOptions(m Method) routing.Options {
+	opt := routing.Options{Method: m, Incremental: true}
+	if bp := s.planner.Load(); bp != nil {
+		opt.BatchWorkers = bp.Workers()
+	}
+	return opt
 }
 
 // DensePath is a query-path candidate backed by many trajectories.
@@ -613,5 +799,5 @@ func LoadSystem(g *Graph, data *Collection, r io.Reader) (*System, error) {
 func (s *System) TopKRoutes(src, dst VertexID, depart, budget float64, k int, m Method) ([]routing.TopKResult, error) {
 	return s.Router.TopKPaths(routing.Query{
 		Source: src, Dest: dst, Depart: depart, Budget: budget,
-	}, k, routing.Options{Method: m, Incremental: true})
+	}, k, s.routeOptions(m))
 }

@@ -1,18 +1,18 @@
 #!/bin/sh
 # bench.sh — benchmark trajectory for the convolution/memo/synopsis
 # engine. Runs the root benchmarks with -benchmem, parses ns/op,
-# B/op and allocs/op, and writes them as JSON (default: BENCH_5.json)
+# B/op and allocs/op, and writes them as JSON (default: BENCH_6.json)
 # so perf changes land with recorded numbers instead of anecdotes.
 #
 # Usage:
-#   sh scripts/bench.sh              # writes BENCH_5.json
+#   sh scripts/bench.sh              # writes BENCH_6.json
 #   sh scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=5s sh scripts/bench.sh # custom -benchtime
 set -eu
 
-OUT=${1:-BENCH_5.json}
+OUT=${1:-BENCH_6.json}
 BENCHTIME=${BENCHTIME:-2s}
-PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$'
+PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$|BenchmarkBatchIndependent$|BenchmarkBatchPlanned$'
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
