@@ -499,7 +499,7 @@ func runNetStats(sys *pathcost.System) {
 	for c, n := range classCount {
 		fmt.Printf("  %-12s %d\n", c, n)
 	}
-	fmt.Printf("trajectories: %d (≈%d raw GPS records)\n", sys.Data.Len(), sys.Data.Records())
+	fmt.Printf("trajectories: %d (≈%d raw GPS records)\n", sys.Data().Len(), sys.Data().Records())
 }
 
 func clock(t float64) string {

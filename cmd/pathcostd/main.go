@@ -1,15 +1,21 @@
 // Command pathcostd is the serving daemon: it loads (or synthesizes)
 // a trained hybrid-graph model once and answers path cost-distribution
 // and stochastic routing queries over an HTTP JSON API — the
-// train-once/serve-many deployment shape the paper's economics imply.
+// train-once/serve-many deployment shape the paper's economics imply,
+// extended with streaming maintenance: raw GPS batches POSTed to
+// /v1/ingest are map-matched and staged, and a periodic epoch publish
+// folds them into the served model incrementally without blocking
+// queries.
 //
 // Serve a synthesized city (no files needed):
 //
 //	pathcostd -preset small -trips 20000 -addr :8080
 //
-// Serve a trained model (see cmd/pathcost -save-model):
+// Serve a trained model (see cmd/pathcost -save-model), with
+// streaming ingestion publishing a fresh epoch every 5 minutes:
 //
-//	pathcostd -network net.txt -model model.txt -addr :8080
+//	pathcostd -network net.txt -model model.txt -addr :8080 \
+//	  -ingest -epoch-interval 5m
 //
 // Query it:
 //
@@ -20,6 +26,8 @@
 //	curl -s localhost:8080/v1/batch \
 //	  -d '{"queries":[{"kind":"distribution","path":[12,13],"depart":28800},
 //	                  {"kind":"route","source":3,"dest":41,"depart":28800,"budget":900}]}'
+//	curl -s localhost:8080/v1/ingest \
+//	  -d '{"trajectories":[{"id":7,"points":[{"lat":57.01,"lon":9.99,"t":28800},...]}]}'
 //	curl -s localhost:8080/v1/stats
 //
 // See docs/API.md for the full endpoint reference.
@@ -27,12 +35,22 @@
 // A model trained with a synopsis (cmd/pathcost -synopsis N
 // -save-model ...) boots warm: its pre-materialized sub-path states
 // load with the model and answer their queries with zero convolutions
-// from the first request (disable with -synopsis=false).
+// from the first request (disable with -synopsis=false). Epoch
+// publishes carry the synopsis forward, rebuilding only the entries
+// the delta touched.
 //
-// Signals: SIGHUP re-reads -model from disk and hot-swaps it without
-// dropping requests (ignored in synthesized mode), re-applying the
-// -synopsis choice to the fresh model; SIGINT/SIGTERM drain in-flight
-// requests and exit.
+// Incremental maintenance: with -epoch-interval > 0 a timer publishes
+// a new model epoch whenever deltas are staged. -decay-halflife
+// selects the maintenance mode — 0 (default) rebuilds touched
+// variables exactly (byte-identical to full retraining on the
+// concatenated data); a positive halflife ages old observations by
+// 2^(-Δt/halflife) instead, trading exactness for bounded memory and
+// recency weighting (and is the only mode available when the model
+// was loaded from a file without its trajectory collection).
+//
+// Signals: SIGHUP forces an epoch publish now (it no longer reloads
+// -model from disk; staged deltas are the live update path).
+// SIGINT/SIGTERM drain in-flight requests and exit.
 //
 // Profiling: -pprof <addr> exposes net/http/pprof on a separate
 // listener (off by default) so the convolution hot paths can be
@@ -47,6 +65,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -60,21 +79,51 @@ import (
 	"repro/internal/server"
 )
 
+// options collects every knob of the daemon so the run loop is a
+// plain testable function of its inputs.
+type options struct {
+	addr        string
+	preset      string
+	trips       int
+	seed        int64
+	beta, alpha int
+	networkFile string
+	modelFile   string
+	cacheSize   int
+	memoSize    int
+	planWorkers int
+	useSynopsis bool
+	maxInFlight int
+	drain       time.Duration
+
+	enableIngest  bool
+	ingestWorkers int
+	maxIngest     int
+	epochInterval time.Duration
+	decayHalflife time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	preset := flag.String("preset", "small", "network preset when synthesizing: test, small, aalborg, beijing")
-	trips := flag.Int("trips", 20000, "simulated trajectories when synthesizing")
-	seed := flag.Int64("seed", 1, "workload seed when synthesizing")
-	beta := flag.Int("beta", 30, "qualified-trajectory threshold β (synthesized training)")
-	alpha := flag.Int("alpha", 30, "interval granularity α in minutes (synthesized training)")
-	networkFile := flag.String("network", "", "road-network file (required with -model)")
-	modelFile := flag.String("model", "", "trained model file to serve (requires -network)")
-	cacheSize := flag.Int("cache", 4096, "query-distribution cache capacity in entries (0 = disabled); cached answers are shared per departure α-interval")
-	memoSize := flag.Int("memo", 4096, "sub-path convolution memo capacity in prefix states (0 = disabled); exact — memoized answers are byte-identical")
-	planWorkers := flag.Int("plan-workers", runtime.NumCPU(), "batch-planner worker pool: /v1/batch plans its distribution entries as one unit so shared sub-paths are convolved once (0 = planner disabled); exact — planned answers are byte-identical")
-	useSynopsis := flag.Bool("synopsis", true, "serve the offline sub-path synopsis embedded in -model, when present (false drops it after load)")
-	maxInFlight := flag.Int("max-inflight", 0, "max concurrently evaluated queries (0 = default)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
+	var opt options
+	flag.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&opt.preset, "preset", "small", "network preset when synthesizing: test, small, aalborg, beijing")
+	flag.IntVar(&opt.trips, "trips", 20000, "simulated trajectories when synthesizing")
+	flag.Int64Var(&opt.seed, "seed", 1, "workload seed when synthesizing")
+	flag.IntVar(&opt.beta, "beta", 30, "qualified-trajectory threshold β (synthesized training)")
+	flag.IntVar(&opt.alpha, "alpha", 30, "interval granularity α in minutes (synthesized training)")
+	flag.StringVar(&opt.networkFile, "network", "", "road-network file (required with -model)")
+	flag.StringVar(&opt.modelFile, "model", "", "trained model file to serve (requires -network)")
+	flag.IntVar(&opt.cacheSize, "cache", 4096, "query-distribution cache capacity in entries (0 = disabled); cached answers are shared per departure α-interval")
+	flag.IntVar(&opt.memoSize, "memo", 4096, "sub-path convolution memo capacity in prefix states (0 = disabled); exact — memoized answers are byte-identical")
+	flag.IntVar(&opt.planWorkers, "plan-workers", runtime.NumCPU(), "batch-planner worker pool: /v1/batch plans its distribution entries as one unit so shared sub-paths are convolved once (0 = planner disabled); exact — planned answers are byte-identical")
+	flag.BoolVar(&opt.useSynopsis, "synopsis", true, "serve the offline sub-path synopsis embedded in -model, when present (false drops it after load)")
+	flag.IntVar(&opt.maxInFlight, "max-inflight", 0, "max concurrently evaluated queries (0 = default)")
+	flag.DurationVar(&opt.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
+	flag.BoolVar(&opt.enableIngest, "ingest", false, "enable POST /v1/ingest: raw GPS batches are map-matched and staged for the next epoch publish")
+	flag.IntVar(&opt.ingestWorkers, "ingest-workers", runtime.NumCPU(), "map-matching worker pool per ingest batch")
+	flag.IntVar(&opt.maxIngest, "max-ingest-batch", 0, "max trajectories per /v1/ingest request (0 = default)")
+	flag.DurationVar(&opt.epochInterval, "epoch-interval", 0, "publish a new model epoch this often when deltas are staged (0 = only on SIGHUP)")
+	flag.DurationVar(&opt.decayHalflife, "decay-halflife", 0, "exponential time-decay halflife for epoch publishes (0 = exact incremental rebuild)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
@@ -84,60 +133,103 @@ func main() {
 		go servePprof(*pprofAddr, logger)
 	}
 
-	sys, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, *useSynopsis, logger)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	if *cacheSize > 0 {
-		sys.EnableQueryCache(*cacheSize)
-	}
-	if *memoSize > 0 {
-		sys.EnableConvMemo(*memoSize)
-	}
-	if *planWorkers > 0 {
-		sys.EnableBatchPlanner(*planWorkers)
-	}
-	st := sys.Stats()
-	logger.Printf("serving %d vertices / %d edges, %d variables, coverage %.1f%% on %s",
-		sys.Graph.NumVertices(), sys.Graph.NumEdges(), st.TotalVariables(), st.Coverage()*100, *addr)
-
-	srv := server.New(sys, server.Config{MaxInFlight: *maxInFlight})
-
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	go func() {
-		for range hup {
-			if *modelFile == "" {
-				logger.Printf("SIGHUP ignored: serving a synthesized model (no -model file to reload)")
-				continue
-			}
-			next, err := buildSystem(*preset, *trips, *seed, *beta, *alpha, *networkFile, *modelFile, *useSynopsis, logger)
-			if err != nil {
-				logger.Printf("SIGHUP reload failed, keeping current model: %v", err)
-				continue
-			}
-			if *cacheSize > 0 {
-				next.EnableQueryCache(*cacheSize)
-			}
-			if *memoSize > 0 {
-				next.EnableConvMemo(*memoSize)
-			}
-			if *planWorkers > 0 {
-				next.EnableBatchPlanner(*planWorkers)
-			}
-			srv.Swap(next)
-			logger.Printf("SIGHUP: reloaded model from %s (%d variables)",
-				*modelFile, next.Stats().TotalVariables())
-		}
-	}()
 
-	if err := srv.Run(ctx, *addr, *drain); err != nil {
+	if err := run(ctx, opt, logger, hup, nil); err != nil {
 		logger.Fatal(err)
 	}
 	logger.Printf("drained and stopped")
+}
+
+// run is the daemon's whole serve loop as a testable function: build
+// the system, bind the listener, start the epoch loop, serve until
+// ctx ends. hup delivers force-publish requests (wired to SIGHUP by
+// main, to a plain channel by tests; nil disables). onReady, when
+// non-nil, is called with the bound address and the served system
+// once the listener is up — tests bind port 0 and discover both here.
+func run(ctx context.Context, opt options, logger *log.Logger, hup <-chan os.Signal, onReady func(net.Addr, *pathcost.System)) error {
+	sys, err := buildSystem(opt, logger)
+	if err != nil {
+		return err
+	}
+	if opt.cacheSize > 0 {
+		sys.EnableQueryCache(opt.cacheSize)
+	}
+	if opt.memoSize > 0 {
+		sys.EnableConvMemo(opt.memoSize)
+	}
+	if opt.planWorkers > 0 {
+		sys.EnableBatchPlanner(opt.planWorkers)
+	}
+	sys.SetDecayHalflife(opt.decayHalflife)
+
+	st := sys.Stats()
+	logger.Printf("serving %d vertices / %d edges, %d variables, coverage %.1f%% on %s",
+		sys.Graph.NumVertices(), sys.Graph.NumEdges(), st.TotalVariables(), st.Coverage()*100, opt.addr)
+
+	srv := server.New(sys, server.Config{
+		MaxInFlight:    opt.maxInFlight,
+		EnableIngest:   opt.enableIngest,
+		IngestWorkers:  opt.ingestWorkers,
+		MaxIngestBatch: opt.maxIngest,
+	})
+
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	if onReady != nil {
+		onReady(ln.Addr(), sys)
+	}
+
+	go epochLoop(ctx, sys, opt.epochInterval, hup, logger)
+
+	return srv.RunListener(ctx, ln, opt.drain)
+}
+
+// epochLoop publishes staged deltas into new model epochs: on a timer
+// when interval > 0, and immediately on every hup delivery (SIGHUP in
+// production). Publishing with nothing staged is skipped — the served
+// epoch only advances when there is something to fold in. A failed
+// publish keeps the deltas staged and the old epoch serving.
+func epochLoop(ctx context.Context, sys *pathcost.System, interval time.Duration, hup <-chan os.Signal, logger *log.Logger) {
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	publish := func(trigger string) {
+		if sys.StagedCount() == 0 {
+			if trigger == "SIGHUP" {
+				logger.Printf("SIGHUP: nothing staged, epoch unchanged")
+			}
+			return
+		}
+		st, err := sys.PublishEpoch()
+		if err != nil {
+			logger.Printf("%s: epoch publish failed, deltas retained: %v", trigger, err)
+			return
+		}
+		logger.Printf("%s: published epoch %d: %d trajectories folded, %d vars touched (%d rebuilt, %d new) in %dms",
+			trigger, st.Seq, st.LastTrajs, st.LastTouchedVars, st.LastRebuiltVars, st.LastNewVars, st.LastBuildMS)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			publish("epoch timer")
+		case _, ok := <-hup:
+			if !ok {
+				return
+			}
+			publish("SIGHUP")
+		}
+	}
 }
 
 // servePprof runs the profiling endpoints on their own listener and
@@ -158,24 +250,22 @@ func servePprof(addr string, logger *log.Logger) {
 
 // buildSystem loads network+model from files, or synthesizes a city
 // and trains on it. A synopsis section embedded in the model file is
-// served when useSynopsis is true and dropped otherwise; either way a
-// SIGHUP reload re-applies the same choice to the fresh model.
-func buildSystem(preset string, trips int, seed int64, beta, alpha int,
-	networkFile, modelFile string, useSynopsis bool, logger *log.Logger) (*pathcost.System, error) {
-	if modelFile != "" && networkFile == "" {
+// served when opt.useSynopsis is true and dropped otherwise.
+func buildSystem(opt options, logger *log.Logger) (*pathcost.System, error) {
+	if opt.modelFile != "" && opt.networkFile == "" {
 		return nil, fmt.Errorf("-model requires -network")
 	}
-	if networkFile != "" && modelFile == "" {
+	if opt.networkFile != "" && opt.modelFile == "" {
 		return nil, fmt.Errorf("-network requires -model (train with cmd/pathcost -save-model first)")
 	}
-	if modelFile == "" {
+	if opt.modelFile == "" {
 		params := pathcost.DefaultParams()
-		params.Beta = beta
-		params.AlphaMinutes = alpha
-		logger.Printf("synthesizing %s city with %d trips (seed %d) and training...", preset, trips, seed)
+		params.Beta = opt.beta
+		params.AlphaMinutes = opt.alpha
+		logger.Printf("synthesizing %s city with %d trips (seed %d) and training...", opt.preset, opt.trips, opt.seed)
 		t0 := time.Now()
 		sys, err := pathcost.Synthesize(pathcost.SynthesizeConfig{
-			Preset: preset, Trips: trips, Seed: seed, Params: params,
+			Preset: opt.preset, Trips: opt.trips, Seed: opt.seed, Params: params,
 		})
 		if err != nil {
 			return nil, err
@@ -183,7 +273,7 @@ func buildSystem(preset string, trips int, seed int64, beta, alpha int,
 		logger.Printf("trained in %v", time.Since(t0).Round(time.Millisecond))
 		return sys, nil
 	}
-	nf, err := os.Open(networkFile)
+	nf, err := os.Open(opt.networkFile)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +282,7 @@ func buildSystem(preset string, trips int, seed int64, beta, alpha int,
 	if err != nil {
 		return nil, err
 	}
-	mf, err := os.Open(modelFile)
+	mf, err := os.Open(opt.modelFile)
 	if err != nil {
 		return nil, err
 	}
@@ -202,11 +292,11 @@ func buildSystem(preset string, trips int, seed int64, beta, alpha int,
 		return nil, err
 	}
 	if st, ok := sys.SynopsisStats(); ok {
-		if useSynopsis {
+		if opt.useSynopsis {
 			logger.Printf("synopsis loaded: %d pre-materialized sub-paths (%d bytes)", st.Entries, st.Bytes)
 		} else {
 			sys.AttachSynopsis(nil)
-			logger.Printf("synopsis present in %s but dropped (-synopsis=false)", modelFile)
+			logger.Printf("synopsis present in %s but dropped (-synopsis=false)", opt.modelFile)
 		}
 	}
 	return sys, nil

@@ -68,7 +68,7 @@ func TestPathDistributionSingleflightExactlyOnce(t *testing.T) {
 	s := freshSystem(t)
 	s.EnableQueryCache(64)
 	p, depart := densePath(t, s)
-	key := s.queryKey(p, depart, OD)
+	key := s.queryKey(s.CurrentEpoch(), p, depart, OD)
 
 	const callers = 16
 	var execs atomic.Int32
@@ -132,7 +132,7 @@ func TestPathDistributionGatedChargesLeadersOnly(t *testing.T) {
 	s := freshSystem(t)
 	s.EnableQueryCache(64)
 	p, depart := densePath(t, s)
-	key := s.queryKey(p, depart, OD)
+	key := s.queryKey(s.CurrentEpoch(), p, depart, OD)
 
 	var acquires, releases atomic.Int32
 	acquire := func() bool { acquires.Add(1); return true }
@@ -194,7 +194,7 @@ func TestPathDistributionGatedFollowerRetriesInheritedRejection(t *testing.T) {
 	s := freshSystem(t)
 	s.EnableQueryCache(64)
 	p, depart := densePath(t, s)
-	key := s.queryKey(p, depart, OD)
+	key := s.queryKey(s.CurrentEpoch(), p, depart, OD)
 
 	leaderErr := make(chan error, 1)
 	go func() {

@@ -1,0 +1,133 @@
+package pathcost
+
+// Epoch-lifecycle acceptance benchmarks: how fast staged trajectory
+// deltas fold into new epochs (BenchmarkIngestThroughput, reported as
+// deltas/sec on top of the standard metrics) and what a query pays
+// while a publisher is continuously rebuilding epochs underneath it
+// (BenchmarkQueryDuringIngest versus the quiet-system baseline
+// BenchmarkPathDistribution). Run with:
+//
+//	go test -bench 'BenchmarkIngestThroughput|BenchmarkQueryDuringIngest' -benchmem .
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gps"
+)
+
+var (
+	epochBenchOnce sync.Once
+	epochBenchSys  *System
+	epochBenchHeld []*Matched
+	epochBenchErr  error
+)
+
+// epochBenchSetup trains a base system on the front of a synthesized
+// workload and keeps the tail as the stream of incoming deltas. The
+// held-out pool is large enough that a benchmark run cycles through
+// it rather than folding the same trajectory twice per epoch.
+func epochBenchSetup(b *testing.B) (*System, []*Matched) {
+	b.Helper()
+	epochBenchOnce.Do(func() {
+		params := DefaultParams()
+		params.Beta = 20
+		params.MaxRank = 4
+		full, err := Synthesize(SynthesizeConfig{
+			Preset: "test", Trips: 4000, Seed: 17, Params: params,
+		})
+		if err != nil {
+			epochBenchErr = err
+			return
+		}
+		data := full.Data()
+		keep := data.Len() * 3 / 4
+		var base, held []*Matched
+		for i := 0; i < data.Len(); i++ {
+			if i < keep {
+				base = append(base, data.Traj(i))
+			} else {
+				held = append(held, data.Traj(i))
+			}
+		}
+		epochBenchSys, epochBenchErr = NewSystem(full.Graph, gps.NewCollection(base, 0), params)
+		epochBenchHeld = held
+	})
+	if epochBenchErr != nil {
+		b.Fatal(epochBenchErr)
+	}
+	return epochBenchSys, epochBenchHeld
+}
+
+// BenchmarkIngestThroughput measures the full stage-and-publish cycle:
+// each iteration stages a 25-trajectory batch and publishes the epoch
+// that folds it in (copy-on-write rebuild of the touched variables,
+// synopsis carry-over, router/planner rebind, atomic swap). The extra
+// deltas/sec metric is the sustained fold rate a daemon can absorb.
+func BenchmarkIngestThroughput(b *testing.B) {
+	sys, held := epochBenchSetup(b)
+	const batch = 25
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % len(held)
+		hi := min(lo+batch, len(held))
+		if _, err := sys.ApplyDeltas(held[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "deltas/sec")
+}
+
+// BenchmarkQueryDuringIngest measures per-query latency while a
+// background publisher continuously folds 25-trajectory batches into
+// new epochs. Each measured op snapshots whatever epoch is current —
+// the acceptance claim is that publishes never stall the read path,
+// so this should track BenchmarkPathDistribution, not fall off a
+// cliff.
+func BenchmarkQueryDuringIngest(b *testing.B) {
+	sys, held := epochBenchSetup(b)
+	sys.EnableQueryCache(512)
+	sys.EnableConvMemo(2048)
+	dense := sys.DensePaths(3, 10)
+	if len(dense) == 0 {
+		b.Fatal("no dense paths in workload")
+	}
+	paths := dense[:min(8, len(dense))]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const batch = 25
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := (i * batch) % len(held)
+			hi := min(lo+batch, len(held))
+			if _, err := sys.ApplyDeltas(held[lo:hi]); err != nil {
+				return
+			}
+		}
+	}()
+
+	rnd := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp := paths[rnd.Intn(len(paths))]
+		lo, _ := sys.Params.IntervalBounds(dp.Interval)
+		if _, err := sys.PathDistribution(dp.Path, lo+1, OD); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -191,28 +191,12 @@ func Build(g *graph.Graph, data *gps.Collection, params Params) (*HybridGraph, e
 			if len(ivOccs) < params.Beta {
 				continue
 			}
-			samples := make([]float64, len(ivOccs))
-			tMin, tMax := mathInf(1), mathInf(-1)
-			for i, oc := range ivOccs {
-				m := data.Traj(oc.Traj)
-				samples[i] = h.costValue(m, oc.Pos, 1)
-				tt := m.EdgeCosts[oc.Pos]
-				if tt < tMin {
-					tMin = tt
-				}
-				if tt > tMax {
-					tMax = tt
-				}
-			}
-			hg, err := h.buildHistogram(samples)
+			v, err := h.buildRank1Variable(data, path, iv, ivOccs)
 			if err != nil {
 				res.err = fmt.Errorf("core: edge %d interval %d: %w", e.ID, iv, err)
 				return res
 			}
-			res.vars = append(res.vars, &Variable{
-				Path: path.Clone(), Interval: iv, Support: len(ivOccs),
-				Hist: hg, TimeMin: tMin, TimeMax: tMax,
-			})
+			res.vars = append(res.vars, v)
 			res.covered = true
 		}
 		// Any edge with data enters the growth frontier; extensions
@@ -282,33 +266,12 @@ func Build(g *graph.Graph, data *gps.Collection, params Params) (*HybridGraph, e
 					if len(ivOccs) < params.Beta {
 						continue
 					}
-					rows := make([][]float64, len(ivOccs))
-					tMin, tMax := mathInf(1), mathInf(-1)
-					for i, oc := range ivOccs {
-						m := data.Traj(oc.Traj)
-						row := make([]float64, len(newPath))
-						for j := range newPath {
-							row[j] = h.costValueAt(m, oc.Pos+j)
-						}
-						rows[i] = row
-						tt := m.CostOfSubPath(oc.Pos, len(newPath))
-						if tt < tMin {
-							tMin = tt
-						}
-						if tt > tMax {
-							tMax = tt
-						}
-					}
-					joint, err := h.buildJoint(rows)
+					v, err := h.buildJointVariable(data, newPath, iv, ivOccs)
 					if err != nil {
 						res.err = fmt.Errorf("core: path %v interval %d: %w", newPath, iv, err)
 						return res
 					}
-					res.vars = append(res.vars, &Variable{
-						Path: newPath, Interval: iv,
-						Support: len(ivOccs), Joint: joint,
-						TimeMin: tMin, TimeMax: tMax,
-					})
+					res.vars = append(res.vars, v)
 					created = true
 				}
 				if created || len(occs) >= params.Beta {
@@ -375,6 +338,69 @@ func (h *HybridGraph) buildJoint(rows [][]float64) (*hist.Multi, error) {
 		FixedBuckets: h.Params.StaticBuckets,
 	}
 	return hist.NewMultiFromSamples(rows, cfg)
+}
+
+// buildRank1Variable instantiates the rank-1 variable of single-edge
+// path p for interval iv from its qualified occurrences. Build and the
+// incremental epoch builder share this code path, which is what makes
+// an incremental rebuild of a touched variable byte-identical to a
+// full retrain: identical samples in identical order through identical
+// arithmetic.
+func (h *HybridGraph) buildRank1Variable(data *gps.Collection, path graph.Path, iv int, ivOccs []gps.Occurrence) (*Variable, error) {
+	samples := make([]float64, len(ivOccs))
+	tMin, tMax := mathInf(1), mathInf(-1)
+	for i, oc := range ivOccs {
+		m := data.Traj(oc.Traj)
+		samples[i] = h.costValue(m, oc.Pos, 1)
+		tt := m.EdgeCosts[oc.Pos]
+		if tt < tMin {
+			tMin = tt
+		}
+		if tt > tMax {
+			tMax = tt
+		}
+	}
+	hg, err := h.buildHistogram(samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Variable{
+		Path: path.Clone(), Interval: iv, Support: len(ivOccs),
+		Hist: hg, TimeMin: tMin, TimeMax: tMax,
+	}, nil
+}
+
+// buildJointVariable instantiates the rank ≥ 2 joint variable of path
+// p for interval iv from its qualified occurrences; shared between
+// Build and the incremental epoch builder (see buildRank1Variable).
+// The path is stored as passed, not cloned.
+func (h *HybridGraph) buildJointVariable(data *gps.Collection, path graph.Path, iv int, ivOccs []gps.Occurrence) (*Variable, error) {
+	rows := make([][]float64, len(ivOccs))
+	tMin, tMax := mathInf(1), mathInf(-1)
+	for i, oc := range ivOccs {
+		m := data.Traj(oc.Traj)
+		row := make([]float64, len(path))
+		for j := range path {
+			row[j] = h.costValueAt(m, oc.Pos+j)
+		}
+		rows[i] = row
+		tt := m.CostOfSubPath(oc.Pos, len(path))
+		if tt < tMin {
+			tMin = tt
+		}
+		if tt > tMax {
+			tMax = tt
+		}
+	}
+	joint, err := h.buildJoint(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Variable{
+		Path: path, Interval: iv,
+		Support: len(ivOccs), Joint: joint,
+		TimeMin: tMin, TimeMax: tMax,
+	}, nil
 }
 
 // addVariable registers a variable in the indexes and statistics.

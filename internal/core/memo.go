@@ -28,12 +28,32 @@ import (
 // number of concurrent routing and distribution queries.
 type ConvMemo struct {
 	lru *cache.LRU[*PathState]
+	// prefix namespaces every key with the model epoch the entries
+	// were computed against (see ForEpoch). Empty for a standalone
+	// memo, whose entries then have no epoch identity.
+	prefix string
 }
 
 // NewConvMemo builds a memo holding at most capacity prefix states.
 // capacity < 1 is treated as 1.
 func NewConvMemo(capacity int) *ConvMemo {
 	return &ConvMemo{lru: cache.NewLRU[*PathState](capacity)}
+}
+
+// ForEpoch returns a view of the memo whose keys carry the given
+// epoch sequence number. Views share the underlying LRU — its
+// capacity, shards and statistics — but entries written through one
+// epoch's view are invisible to every other epoch: publishing a new
+// model invalidates logically, with stale entries aging out of the
+// shared LRU instead of being flushed wholesale.
+func (m *ConvMemo) ForEpoch(seq uint64) *ConvMemo {
+	return &ConvMemo{lru: m.lru, prefix: "e" + strconv.FormatUint(seq, 10) + "|"}
+}
+
+// key namespaces the exact prefix-state identity with the view's
+// epoch.
+func (m *ConvMemo) key(pathKey string, t float64, opt QueryOptions) string {
+	return m.prefix + memoKey(pathKey, t, opt)
 }
 
 // Stats snapshots the memo's hit/miss/eviction counters.
@@ -63,7 +83,7 @@ func (h *HybridGraph) MemoStartPath(m *ConvMemo, e graph.EdgeID, t float64, opt 
 	if m == nil || !memoizable(opt.Method) {
 		return h.StartPath(e, t, opt)
 	}
-	key := memoKey((graph.Path{e}).Key(), t, opt)
+	key := m.key((graph.Path{e}).Key(), t, opt)
 	if s, ok := m.lru.Get(key); ok {
 		return s, nil
 	}
@@ -86,7 +106,7 @@ func (h *HybridGraph) MemoExtendPath(m *ConvMemo, s *PathState, e graph.EdgeID) 
 	np := make(graph.Path, len(s.path)+1)
 	copy(np, s.path)
 	np[len(s.path)] = e
-	key := memoKey(np.Key(), s.t, s.opt)
+	key := m.key(np.Key(), s.t, s.opt)
 	if ns, ok := m.lru.Get(key); ok {
 		return ns, nil
 	}

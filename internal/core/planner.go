@@ -49,6 +49,11 @@ func NewBatchPlanner(h *HybridGraph, workers int) *BatchPlanner {
 // Workers returns the planner's worker-pool bound.
 func (bp *BatchPlanner) Workers() int { return bp.workers }
 
+// Hybrid returns the model the planner evaluates against; an
+// epoch-versioned System uses this to detect a planner built for an
+// older model snapshot.
+func (bp *BatchPlanner) Hybrid() *HybridGraph { return bp.h }
+
 // PlanQuery is one entry of a batch handed to the planner.
 type PlanQuery struct {
 	Path   graph.Path
@@ -340,6 +345,9 @@ func (bp *BatchPlanner) evalNode(ctx context.Context, syn *SynopsisStore, memo *
 		n.err = err
 		return
 	}
+	// Synopsis keys carry no epoch tag (the store is rebuilt per
+	// epoch); the memo may be an epoch-scoped view of a shared LRU, so
+	// its probes go through the view's prefixed key.
 	key := memoKey(n.prefix.Key(), g.t, g.opt)
 	if syn != nil {
 		if s, ok := syn.lookupKey(key); ok {
@@ -350,7 +358,7 @@ func (bp *BatchPlanner) evalNode(ctx context.Context, syn *SynopsisStore, memo *
 		}
 	}
 	if memo != nil {
-		if s, ok := memo.lru.Get(key); ok {
+		if s, ok := memo.lru.Get(memo.prefix + key); ok {
 			n.state = s
 			ctr.probeHits.Add(1)
 			bp.primeDist(n)
@@ -371,7 +379,7 @@ func (bp *BatchPlanner) evalNode(ctx context.Context, syn *SynopsisStore, memo *
 	n.state = s
 	ctr.convolutions.Add(1)
 	if memo != nil {
-		memo.lru.Put(key, s)
+		memo.lru.Put(memo.prefix+key, s)
 	}
 	bp.primeDist(n)
 }

@@ -422,7 +422,10 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 	// Longest-prefix probe across both stores; at equal depth the
 	// synopsis wins (no LRU traffic, and the answer is identical). The
 	// memo side peeks first and Gets only the committed base, exactly
-	// as MemoPathState does (see the comment there).
+	// as MemoPathState does (see the comment there). The two stores
+	// key differently on purpose: a synopsis is rebuilt per epoch so
+	// its keys carry no epoch tag, while the memo may be an
+	// epoch-scoped view of an LRU shared across epochs.
 	for n := len(p); n >= 1; n-- {
 		key := memoKey(p[:n].Key(), t, opt)
 		if syn != nil {
@@ -432,9 +435,10 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 			}
 		}
 		if m != nil {
-			if s, ok := m.lru.Peek(key); ok {
+			mkey := m.prefix + key
+			if s, ok := m.lru.Peek(mkey); ok {
 				st, base = s, n
-				m.lru.Get(key)
+				m.lru.Get(mkey)
 				break
 			}
 		}
@@ -447,7 +451,7 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 		}
 	}
 	if st == nil && m != nil {
-		m.lru.Get(memoKey(p.Key(), t, opt)) // count the cold miss
+		m.lru.Get(m.key(p.Key(), t, opt)) // count the cold miss
 	}
 	var err error
 	for i := base; i < len(p); i++ {
@@ -460,7 +464,7 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 			return nil, err
 		}
 		if m != nil {
-			m.lru.Put(memoKey(p[:i+1].Key(), t, opt), st)
+			m.lru.Put(m.key(p[:i+1].Key(), t, opt), st)
 		}
 	}
 	return st, nil
@@ -523,4 +527,54 @@ func (h *HybridGraph) stateResult(st *PathState) (*QueryResult, error) {
 	}
 	res.Stats.ResultBuckets = res.Dist.NumBuckets()
 	return res, nil
+}
+
+// Rebuild produces the synopsis for a new model epoch: entries whose
+// path the update provably did not affect (per the stale predicate,
+// typically "shares an edge with the batch") are carried over by
+// pointer — their chain states reference variables the new hybrid
+// shares with the old one — and stale entries are re-materialized
+// against the new hybrid. Entries that can no longer be materialized
+// (their paths lost coverage, possible under decay) are dropped and
+// counted. The receiver is unchanged and keeps serving the old epoch;
+// hit/miss counters start fresh on the returned store.
+func (s *SynopsisStore) Rebuild(h *HybridGraph, stale func(graph.Path) bool) (*SynopsisStore, SynopsisRebuildStats, error) {
+	out := newSynopsisStore(s.opt)
+	out.report = s.report
+	var st SynopsisRebuildStats
+	// A build-local memo so re-materialized entries share prefix work,
+	// exactly as BuildSynopsis does.
+	memo := NewConvMemo(4*len(s.entries) + 16)
+	for _, key := range s.keys {
+		entry := s.entries[key]
+		if !stale(entry.path) {
+			nbytes, err := synopsisEntryBytes(entry)
+			if err != nil {
+				return nil, st, err
+			}
+			out.add(key, entry, nbytes)
+			st.Carried++
+			continue
+		}
+		ns, err := h.MemoPathState(memo, entry.path, entry.t, entry.opt)
+		if err != nil {
+			st.Dropped++
+			continue
+		}
+		nbytes, err := synopsisEntryBytes(ns)
+		if err != nil {
+			return nil, st, err
+		}
+		out.add(key, ns, nbytes)
+		st.Rematerialized++
+	}
+	return out, st, nil
+}
+
+// SynopsisRebuildStats summarizes one per-epoch synopsis rebuild.
+type SynopsisRebuildStats struct {
+	// Carried entries were shared with the previous epoch unchanged;
+	// Rematerialized were recomputed against the new model; Dropped
+	// could no longer be materialized and were evicted.
+	Carried, Rematerialized, Dropped int
 }

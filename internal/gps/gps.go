@@ -219,6 +219,51 @@ func (c *Collection) ExtendOccurrences(occs []Occurrence, n int, e graph.EdgeID)
 	return out
 }
 
+// NumEdgesWithData returns the number of edges traversed by at least
+// one trajectory (|E′| in the paper's coverage statistics).
+func (c *Collection) NumEdgesWithData() int { return len(c.byEdge) }
+
+// Extend returns a new collection over the receiver's trajectories
+// plus the given batch, appended in order, with moreRecords added to
+// the record count. The receiver is unchanged and remains fully
+// usable: the trajectory slice is copied and occurrence lists for
+// edges the batch touches are cloned before appending, so the two
+// collections never share a mutable backing array (an old epoch can
+// keep reading while the new one is built).
+//
+// The occurrence index of the result is identical to what
+// NewCollection would build over the concatenated trajectories: new
+// occurrences land strictly after old ones in each per-edge list,
+// preserving the order-determinism the trainer relies on.
+func (c *Collection) Extend(batch []*Matched, moreRecords int64) *Collection {
+	trajs := make([]*Matched, 0, len(c.trajs)+len(batch))
+	trajs = append(trajs, c.trajs...)
+	trajs = append(trajs, batch...)
+	out := &Collection{
+		trajs:   trajs,
+		byEdge:  make(map[graph.EdgeID][]Occurrence, len(c.byEdge)),
+		records: c.records + moreRecords,
+	}
+	for e, occs := range c.byEdge {
+		out.byEdge[e] = occs
+	}
+	cloned := make(map[graph.EdgeID]bool)
+	for bi, m := range batch {
+		ti := len(c.trajs) + bi
+		for pos, e := range m.Path {
+			if !cloned[e] {
+				old := out.byEdge[e]
+				fresh := make([]Occurrence, len(old), len(old)+4)
+				copy(fresh, old)
+				out.byEdge[e] = fresh
+				cloned[e] = true
+			}
+			out.byEdge[e] = append(out.byEdge[e], Occurrence{Traj: ti, Pos: pos})
+		}
+	}
+	return out
+}
+
 // Subset returns a new collection over the first n trajectories (used
 // by the dataset-size sweeps of Figures 10, 12 and 17). Record counts
 // are scaled proportionally.

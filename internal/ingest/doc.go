@@ -1,0 +1,14 @@
+// Package ingest is the streaming front half of the paper's ingestion
+// pipeline (Section 2.1): raw GPS traces arrive in batches, an HMM
+// map-matching worker pool aligns each with a road-network path, and
+// the resulting (path, departure, per-edge cost) observations are
+// staged into a Sink — in the serving system, the epoch-versioned
+// model's delta buffer, from which the next PublishEpoch folds them
+// into the model incrementally.
+//
+// The package is deliberately decoupled from the model: it knows how
+// to turn raw fixes into validated Matched observations and hand them
+// off, nothing more. That keeps the matcher pool reusable (offline
+// bulk loads and the /v1/ingest endpoint share it) and keeps the
+// model's epoch lifecycle the single owner of delta staging.
+package ingest

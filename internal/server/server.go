@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,8 +14,11 @@ import (
 
 	pathcost "repro"
 	"repro/internal/cache"
+	"repro/internal/geo"
+	"repro/internal/gps"
 	"repro/internal/graph"
 	"repro/internal/hist"
+	"repro/internal/ingest"
 )
 
 // DefaultMaxInFlight bounds concurrently evaluated queries when
@@ -42,6 +46,17 @@ type Config struct {
 	// MaxBatch caps the number of queries accepted in one /v1/batch
 	// request (0 = 64).
 	MaxBatch int
+	// EnableIngest turns on POST /v1/ingest: raw GPS batches are
+	// map-matched and staged into the served system's epoch delta
+	// buffer (published by the daemon's epoch loop or SIGHUP). When
+	// false the endpoint answers 404.
+	EnableIngest bool
+	// IngestWorkers bounds the map-matching pool per ingest batch
+	// (≤ 1 = sequential).
+	IngestWorkers int
+	// MaxIngestBatch caps the trajectories accepted in one /v1/ingest
+	// request (0 = 1024).
+	MaxIngestBatch int
 }
 
 // Server serves one pathcost.System over HTTP. Create with New, mount
@@ -52,6 +67,12 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	start time.Time
+
+	// pipeline, when ingestion is enabled, map-matches /v1/ingest
+	// batches and stages them into the served system. Rebuilt on Swap
+	// so staged deltas always target the system being served (its
+	// cumulative counters restart with the new system).
+	pipeline atomic.Pointer[ingest.Pipeline]
 
 	served    atomic.Uint64 // requests answered 2xx
 	rejected  atomic.Uint64 // requests answered 4xx/5xx
@@ -73,6 +94,9 @@ func New(sys *pathcost.System, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.MaxIngestBatch <= 0 {
+		cfg.MaxIngestBatch = 1024
+	}
 	s := &Server{
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		cfg:   cfg,
@@ -80,13 +104,28 @@ func New(sys *pathcost.System, cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.sys.Store(sys)
+	if cfg.EnableIngest {
+		s.rebuildPipeline(sys)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/distribution", s.handleDistribution)
 	s.mux.HandleFunc("/v1/route", s.handleRoute)
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
+}
+
+// rebuildPipeline points the ingest pipeline at sys; the pipeline's
+// construction cannot fail here (graph and sink are non-nil by
+// construction of a System).
+func (s *Server) rebuildPipeline(sys *pathcost.System) {
+	p, err := ingest.New(sys.Graph, sys, ingest.Config{Workers: s.cfg.IngestWorkers})
+	if err != nil {
+		panic("server: building ingest pipeline: " + err.Error())
+	}
+	s.pipeline.Store(p)
 }
 
 // Handler returns the HTTP handler tree (also usable with httptest).
@@ -103,7 +142,14 @@ func (s *Server) System() *pathcost.System { return s.sys.Load() }
 // before swapping it in).
 func (s *Server) Swap(next *pathcost.System) *pathcost.System {
 	s.reloads.Add(1)
-	return s.sys.Swap(next)
+	prev := s.sys.Swap(next)
+	if s.cfg.EnableIngest {
+		// Re-point ingestion at the new system; an ingest batch racing
+		// the swap stages into the system it loaded, whose epoch
+		// machinery remains valid even after it stops being served.
+		s.rebuildPipeline(next)
+	}
+	return prev
 }
 
 // Run serves the handler on addr until ctx is cancelled, then drains
@@ -112,16 +158,27 @@ func (s *Server) Swap(next *pathcost.System) *pathcost.System {
 // immediately; drain < 0 means the 10-second default. Run returns
 // nil after a clean shutdown.
 func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.RunListener(ctx, ln, drain)
+}
+
+// RunListener is Run over an already-bound listener — the form the
+// daemon's testable run loop uses so tests can bind port 0 and
+// discover the address before requests fly. The listener is owned and
+// closed by the server.
+func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Duration) error {
 	if drain < 0 {
 		drain = 10 * time.Second
 	}
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
@@ -284,6 +341,39 @@ type batchResponse struct {
 	Results []batchResult `json:"results"`
 }
 
+// ingestPointJSON is one raw GPS fix.
+type ingestPointJSON struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+	T   float64 `json:"t"` // absolute seconds
+}
+
+// ingestTrajJSON is one raw GPS trace.
+type ingestTrajJSON struct {
+	ID     int64             `json:"id"`
+	Points []ingestPointJSON `json:"points"`
+}
+
+// ingestRequest is a batch of raw traces for POST /v1/ingest.
+type ingestRequest struct {
+	Trajectories []ingestTrajJSON `json:"trajectories"`
+}
+
+// ingestResponse reports what happened to the batch: how map matching
+// partitioned it, how staging partitioned the matches, and the delta
+// backlog plus served epoch after staging. Staged trajectories enter
+// the model at the next epoch publish, not immediately — epoch tells
+// pollers when that happened.
+type ingestResponse struct {
+	Received      int    `json:"received"`
+	Matched       int    `json:"matched"`
+	MatchFailed   int    `json:"match_failed"`
+	Staged        int    `json:"staged"`
+	Rejected      int    `json:"rejected"`
+	StagedPending int    `json:"staged_pending"`
+	Epoch         uint64 `json:"epoch"`
+}
+
 type statsResponse struct {
 	Vertices        int     `json:"vertices"`
 	Edges           int     `json:"edges"`
@@ -297,6 +387,8 @@ type statsResponse struct {
 	Memo     *cacheStatsJSON    `json:"memo,omitempty"`
 	Synopsis *synopsisStatsJSON `json:"synopsis,omitempty"`
 	Planner  *plannerStatsJSON  `json:"planner,omitempty"`
+	Ingest   *ingestStatsJSON   `json:"ingest,omitempty"`
+	Epoch    *epochStatsJSON    `json:"epoch,omitempty"`
 
 	UptimeS     float64 `json:"uptime_s"`
 	Served      uint64  `json:"served"`
@@ -343,6 +435,39 @@ type plannerStatsJSON struct {
 	ProbeHits        int `json:"probe_hits"`
 	IndependentSteps int `json:"independent_steps"`
 	SavedSteps       int `json:"saved_steps"`
+}
+
+// ingestStatsJSON reports the streaming-ingestion pipeline's
+// cumulative counters (present only when ingestion is enabled;
+// counters restart when a model reload re-points the pipeline).
+type ingestStatsJSON struct {
+	Batches     int64 `json:"batches"`
+	Received    int64 `json:"received"`
+	Records     int64 `json:"records"`
+	Matched     int64 `json:"matched"`
+	MatchFailed int64 `json:"match_failed"`
+	Staged      int64 `json:"staged"`
+	Rejected    int64 `json:"rejected"`
+}
+
+// epochStatsJSON reports the served system's epoch lifecycle: the
+// current epoch, the staged-delta backlog, and what the most recent
+// incremental publish did.
+type epochStatsJSON struct {
+	Seq                    uint64  `json:"seq"`
+	Publishes              uint64  `json:"publishes"`
+	StagedPending          int     `json:"staged_pending"`
+	StagedTotal            uint64  `json:"staged_total"`
+	DecayHalflifeS         float64 `json:"decay_halflife_s"`
+	LastTrajs              int     `json:"last_trajs"`
+	LastTouchedVars        int     `json:"last_touched_vars"`
+	LastRebuiltVars        int     `json:"last_rebuilt_vars"`
+	LastNewVars            int     `json:"last_new_vars"`
+	LastBuildMS            int64   `json:"last_build_ms"`
+	LastDecayFactor        float64 `json:"last_decay_factor"`
+	SynopsisCarried        int     `json:"synopsis_carried"`
+	SynopsisRematerialized int     `json:"synopsis_rematerialized"`
+	SynopsisDropped        int     `json:"synopsis_dropped"`
 }
 
 // --- validation helpers ----------------------------------------------
@@ -698,6 +823,62 @@ func (s *Server) evalTopK(ctx context.Context, sys *pathcost.System, req *topkRe
 	return out, http.StatusOK, ""
 }
 
+// handleIngest accepts a batch of raw GPS traces, map-matches it on
+// the pipeline's worker pool (one MaxInFlight slot for the whole
+// batch — matching is CPU-bound like query evaluation) and stages the
+// survivors into the served system's delta buffer. The model is not
+// updated here: staged deltas fold in at the next epoch publish.
+// Malformed traces are counted and dropped, never failing the batch.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	p := s.pipeline.Load()
+	if p == nil {
+		s.writeError(w, http.StatusNotFound, "ingestion is disabled on this server")
+		return
+	}
+	var req ingestRequest
+	// Raw GPS batches are bulkier than queries: a trace is hundreds of
+	// fixes, so the body cap is 16 MiB instead of readRequest's 1 MiB.
+	if !s.readRequestSized(w, r, &req, 16<<20) {
+		return
+	}
+	if len(req.Trajectories) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch must contain at least one trajectory")
+		return
+	}
+	if len(req.Trajectories) > s.cfg.MaxIngestBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d trajectories, cap is %d", len(req.Trajectories), s.cfg.MaxIngestBatch))
+		return
+	}
+	raw := make([]*gps.Trajectory, len(req.Trajectories))
+	for i, tj := range req.Trajectories {
+		tr := &gps.Trajectory{ID: tj.ID, Records: make([]gps.Record, len(tj.Points))}
+		for j, pt := range tj.Points {
+			tr.Records[j] = gps.Record{Pt: geo.Point{Lat: pt.Lat, Lon: pt.Lon}, Time: pt.T}
+		}
+		raw[i] = tr
+	}
+	ctx := r.Context()
+	if !s.acquire(ctx) {
+		return
+	}
+	st := func() ingest.BatchStats {
+		defer s.release() // deferred: a panicking match must not leak the slot
+		return p.IngestRaw(raw)
+	}()
+	sys := s.System()
+	est := sys.EpochStats()
+	s.writeJSON(w, http.StatusOK, ingestResponse{
+		Received:      st.Received,
+		Matched:       st.Matched,
+		MatchFailed:   st.MatchFailed,
+		Staged:        st.Staged,
+		Rejected:      st.Rejected,
+		StagedPending: est.StagedPending,
+		Epoch:         est.Seq,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
@@ -747,6 +928,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			IndependentSteps: pst.IndependentSteps, SavedSteps: pst.SavedSteps(),
 		}
 	}
+	if p := s.pipeline.Load(); p != nil {
+		ist := p.Stats()
+		resp.Ingest = &ingestStatsJSON{
+			Batches: ist.Batches, Received: ist.Received, Records: ist.Records,
+			Matched: ist.Matched, MatchFailed: ist.MatchFailed,
+			Staged: ist.Staged, Rejected: ist.Rejected,
+		}
+	}
+	est := sys.EpochStats()
+	resp.Epoch = &epochStatsJSON{
+		Seq:                    est.Seq,
+		Publishes:              est.Publishes,
+		StagedPending:          est.StagedPending,
+		StagedTotal:            est.StagedTotal,
+		DecayHalflifeS:         est.DecayHalflifeSec,
+		LastTrajs:              est.LastTrajs,
+		LastTouchedVars:        est.LastTouchedVars,
+		LastRebuiltVars:        est.LastRebuiltVars,
+		LastNewVars:            est.LastNewVars,
+		LastBuildMS:            est.LastBuildMS,
+		LastDecayFactor:        est.LastDecayFactor,
+		SynopsisCarried:        est.SynopsisCarried,
+		SynopsisRematerialized: est.SynopsisRematerialized,
+		SynopsisDropped:        est.SynopsisDropped,
+	}
 	s.writeJSONUncounted(w, http.StatusOK, resp)
 }
 
@@ -778,11 +984,17 @@ func checkRouteRequest(g *pathcost.Graph, req *routeRequest) (pathcost.Method, e
 
 // readRequest decodes a JSON POST body, rejecting anything else.
 func (s *Server) readRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	return s.readRequestSized(w, r, dst, 1<<20)
+}
+
+// readRequestSized is readRequest with an explicit body cap, for the
+// bulk endpoints.
+func (s *Server) readRequestSized(w http.ResponseWriter, r *http.Request, dst any, maxBytes int64) bool {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())

@@ -29,11 +29,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -111,25 +113,57 @@ const (
 // DefaultParams returns the paper's defaults (α = 30 min, β = 30).
 func DefaultParams() Params { return core.DefaultParams() }
 
-// System bundles a road network, a trajectory collection, the trained
-// hybrid graph and a stochastic router.
+// ModelEpoch is one published model snapshot: a hybrid graph, the
+// trajectory collection backing it (nil when the model was loaded
+// without data), and a router evaluating against exactly this model.
+// The model content is immutable after publish; queries that loaded an
+// epoch keep a consistent view of it even while the next epoch is
+// being built and published. Accelerator attachments (synopsis, memo
+// view, planner) are swappable per epoch via the System's Enable*/
+// Attach* methods.
+type ModelEpoch struct {
+	// Seq is the monotonically increasing epoch sequence number; it
+	// namespaces every query-cache key, memo key and planner probe so
+	// a publish invalidates derived state logically — stale entries of
+	// older epochs can never answer queries on this one.
+	Seq    uint64
+	Hybrid *core.HybridGraph
+	Data   *Collection
+	Router *routing.Router
+
+	// synopsis is the epoch's offline sub-path synopsis (rebuilt
+	// incrementally at publish); memo is the epoch-scoped view of the
+	// System's shared convolution memo; planner is the batch planner
+	// built over this epoch's hybrid.
+	synopsis atomic.Pointer[core.SynopsisStore]
+	memo     atomic.Pointer[core.ConvMemo]
+	planner  atomic.Pointer[core.BatchPlanner]
+}
+
+// Synopsis returns the epoch's synopsis store, or nil.
+func (e *ModelEpoch) Synopsis() *core.SynopsisStore { return e.synopsis.Load() }
+
+// System bundles a road network, the epoch-versioned trained model
+// (hybrid graph, trajectory collection, router) and the serving
+// machinery around it.
 //
 // A System is safe for concurrent use: any number of goroutines may
 // run PathDistribution, Route, TopKRoutes, GroundTruth and
-// QueryCacheStats simultaneously, and EnableQueryCache and
-// EnableConvMemo may be called while queries are in flight. The exported fields are treated as
-// immutable after construction; to serve a newly trained model, build
-// a new System and swap the pointer (see internal/server.Server.Swap)
-// rather than mutating Hybrid or Router in place.
+// QueryCacheStats simultaneously, and EnableQueryCache, EnableConvMemo
+// and ApplyDeltas/PublishEpoch may be called while queries are in
+// flight. Each query snapshots the current epoch once (one atomic
+// load) and runs entirely against it; publishing a new epoch swaps the
+// pointer and never blocks in-flight queries. Graph and Params are
+// immutable after construction.
 type System struct {
 	Graph  *Graph
-	Data   *Collection
-	Hybrid *core.HybridGraph
-	Router *routing.Router
 	Params Params
 
+	// epoch is the currently served model snapshot; see ModelEpoch.
+	epoch atomic.Pointer[ModelEpoch]
+
 	// qcache, when non-nil, memoizes PathDistribution results per
-	// (path, α-interval, method). It is an atomic pointer so
+	// (epoch, path, α-interval, method). It is an atomic pointer so
 	// EnableQueryCache can install, resize or remove the cache while
 	// queries are running. See EnableQueryCache.
 	qcache atomic.Pointer[cache.LRU[*QueryResult]]
@@ -138,34 +172,50 @@ type System struct {
 	// into a single CostDistribution computation (anti-stampede).
 	flight cache.Flight[*QueryResult]
 
-	// convMemo, when non-nil, is the incremental sub-path convolution
-	// engine: a prefix-keyed memo of chain states shared between
-	// PathDistribution and the Router, so queries that extend an
-	// already-evaluated prefix cost one convolution step (or one
-	// lookup) instead of a full re-derivation. See EnableConvMemo.
+	// convMemo, when non-nil, is the shared LRU behind the incremental
+	// sub-path convolution engine. Each epoch works through its own
+	// ForEpoch view of it, so a publish logically invalidates memoized
+	// states without flushing the pool. See EnableConvMemo.
 	convMemo atomic.Pointer[core.ConvMemo]
-
-	// synopsis, when non-nil, is the offline sub-path synopsis: a
-	// read-only store of pre-materialized prefix states trained with
-	// the model and persisted in its file, consulted before the
-	// runtime memo. See BuildSynopsis and AttachSynopsis.
-	synopsis atomic.Pointer[core.SynopsisStore]
-
-	// planner, when non-nil, is the batch-aware query planner:
-	// PlanDistributions hands it whole batches so overlapping query
-	// paths share each sub-path convolution outright instead of
-	// rediscovering it through the memo. See EnableBatchPlanner.
-	planner atomic.Pointer[core.BatchPlanner]
 
 	// planMu guards planAgg, the planner counters accumulated across
 	// batches for PlannerStats.
 	planMu  sync.Mutex
 	planAgg PlannerStats
 
+	// pubMu serializes epoch publishes and attachment changes; it is
+	// never taken by queries.
+	pubMu sync.Mutex
+	// stageMu guards the staged delta buffer (trajectories accepted by
+	// StageTrajectories and not yet published).
+	stageMu sync.Mutex
+	staged  []*Matched
+	// decayBits holds math.Float64bits of the decay halflife in
+	// seconds (0 = exact mode); see SetDecayHalflife.
+	decayBits atomic.Uint64
+	// lastPublish is read/written only while holding pubMu.
+	lastPublish time.Time
+	// statMu guards the publish bookkeeping below (kept separate from
+	// pubMu so EpochStats never waits behind an in-progress build).
+	statMu      sync.Mutex
+	publishes   uint64
+	stagedTotal uint64
+	lastDelta   core.EpochDelta
+	lastBuild   time.Duration
+	lastFactor  float64
+	lastSyn     core.SynopsisRebuildStats
+
 	// computeProbe, when non-nil, is invoked once per underlying
 	// CostDistribution computation in PathDistribution. Test seam for
 	// the singleflight guarantee; never set it outside tests.
 	computeProbe func()
+}
+
+// newSystem wraps a trained hybrid as epoch 1 of a fresh System.
+func newSystem(g *Graph, data *Collection, h *core.HybridGraph, params Params) *System {
+	s := &System{Graph: g, Params: params, lastPublish: time.Now()}
+	s.epoch.Store(&ModelEpoch{Seq: 1, Hybrid: h, Data: data, Router: routing.New(h)})
+	return s
 }
 
 // NewSystem trains a hybrid graph from an existing network and
@@ -175,14 +225,26 @@ func NewSystem(g *Graph, data *Collection, params Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		Graph:  g,
-		Data:   data,
-		Hybrid: h,
-		Router: routing.New(h),
-		Params: params,
-	}, nil
+	return newSystem(g, data, h, params), nil
 }
+
+// CurrentEpoch returns the currently served model snapshot. Callers
+// that make several dependent reads should snapshot once and use the
+// returned epoch throughout, as every query path here does.
+func (s *System) CurrentEpoch() *ModelEpoch { return s.epoch.Load() }
+
+// Epoch returns the current epoch sequence number.
+func (s *System) Epoch() uint64 { return s.epoch.Load().Seq }
+
+// Hybrid returns the current epoch's trained hybrid graph.
+func (s *System) Hybrid() *core.HybridGraph { return s.epoch.Load().Hybrid }
+
+// Router returns the current epoch's stochastic router.
+func (s *System) Router() *routing.Router { return s.epoch.Load().Router }
+
+// Data returns the current epoch's trajectory collection (nil when
+// the model was loaded without data).
+func (s *System) Data() *Collection { return s.epoch.Load().Data }
 
 // SynthesizeConfig configures the built-in city simulator, the
 // substitute for the paper's Aalborg/Beijing fleets.
@@ -278,14 +340,20 @@ func (s *System) QueryCacheStats() (st CacheStats, ok bool) {
 // against whichever memo they started with. Calling it again starts
 // from an empty memo with fresh counters.
 func (s *System) EnableConvMemo(capacity int) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	ep := s.epoch.Load()
 	if capacity <= 0 {
 		s.convMemo.Store(nil)
-		s.Router.SetMemo(nil)
+		ep.memo.Store(nil)
+		ep.Router.SetMemo(nil)
 		return
 	}
 	m := core.NewConvMemo(capacity)
 	s.convMemo.Store(m)
-	s.Router.SetMemo(m)
+	view := m.ForEpoch(ep.Seq)
+	ep.memo.Store(view)
+	ep.Router.SetMemo(view)
 }
 
 // ConvMemoStats snapshots the convolution memo's hit/miss/eviction
@@ -307,7 +375,7 @@ func (s *System) ConvMemoStats() (st CacheStats, ok bool) {
 // "train once, serve warm" shape: a freshly booted server answers the
 // synopsis's sub-paths with zero convolutions.
 func (s *System) BuildSynopsis(workload []WorkloadQuery, cfg SynopsisConfig) (*core.SynopsisStore, error) {
-	syn, err := s.Hybrid.BuildSynopsis(workload, cfg)
+	syn, err := s.Hybrid().BuildSynopsis(workload, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -315,22 +383,27 @@ func (s *System) BuildSynopsis(workload []WorkloadQuery, cfg SynopsisConfig) (*c
 	return syn, nil
 }
 
-// AttachSynopsis installs (or, with nil, removes) a synopsis store,
-// sharing it with the Router. Safe to call while queries are in
-// flight: the pointer swaps atomically and running queries finish
-// against whichever store they started with.
+// AttachSynopsis installs (or, with nil, removes) a synopsis store on
+// the current epoch, sharing it with the epoch's Router. Safe to call
+// while queries are in flight: the pointer swaps atomically and
+// running queries finish against whichever store they started with.
+// A later PublishEpoch carries the store forward, incrementally
+// rebuilt for the new model (see SynopsisStore.Rebuild).
 func (s *System) AttachSynopsis(syn *core.SynopsisStore) {
-	s.synopsis.Store(syn)
-	s.Router.SetSynopsis(syn)
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	ep := s.epoch.Load()
+	ep.synopsis.Store(syn)
+	ep.Router.SetSynopsis(syn)
 }
 
-// Synopsis returns the attached synopsis store, or nil.
-func (s *System) Synopsis() *core.SynopsisStore { return s.synopsis.Load() }
+// Synopsis returns the current epoch's synopsis store, or nil.
+func (s *System) Synopsis() *core.SynopsisStore { return s.epoch.Load().Synopsis() }
 
 // SynopsisStats snapshots the synopsis's size and probe counters; ok
 // is false when no synopsis is attached.
 func (s *System) SynopsisStats() (st SynopsisStats, ok bool) {
-	syn := s.synopsis.Load()
+	syn := s.Synopsis()
 	if syn == nil {
 		return SynopsisStats{}, false
 	}
@@ -366,21 +439,28 @@ func (s *System) EnableBatchPlanner(workers int) {
 	s.planMu.Lock()
 	s.planAgg = PlannerStats{}
 	s.planMu.Unlock()
-	s.planner.Store(core.NewBatchPlanner(s.Hybrid, workers))
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	ep := s.epoch.Load()
+	ep.planner.Store(core.NewBatchPlanner(ep.Hybrid, workers))
 }
 
 // DisableBatchPlanner removes the planner; PlanDistributions then
 // falls back to an ephemeral planner per call (still correct, no
 // stats), and routing reverts to sequential expansion.
-func (s *System) DisableBatchPlanner() { s.planner.Store(nil) }
+func (s *System) DisableBatchPlanner() {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.epoch.Load().planner.Store(nil)
+}
 
-// Planner returns the installed batch planner, or nil.
-func (s *System) Planner() *core.BatchPlanner { return s.planner.Load() }
+// Planner returns the current epoch's batch planner, or nil.
+func (s *System) Planner() *core.BatchPlanner { return s.epoch.Load().planner.Load() }
 
 // PlannerStats snapshots the accumulated planner counters; ok is
 // false when no planner is enabled.
 func (s *System) PlannerStats() (st PlannerStats, ok bool) {
-	bp := s.planner.Load()
+	bp := s.Planner()
 	if bp == nil {
 		return PlannerStats{}, false
 	}
@@ -416,10 +496,11 @@ func (s *System) PlanDistributions(ctx context.Context, queries []PlanQuery,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	bp := s.planner.Load()
+	ep := s.epoch.Load()
+	bp := ep.planner.Load()
 	installed := bp != nil
 	if !installed {
-		bp = core.NewBatchPlanner(s.Hybrid, 0)
+		bp = core.NewBatchPlanner(ep.Hybrid, 0)
 	}
 	out := make([]PlanResult, len(queries))
 	c := s.qcache.Load()
@@ -434,7 +515,7 @@ func (s *System) PlanDistributions(ctx context.Context, queries []PlanQuery,
 		// cache: its keys carry (path, α-interval, method) and nothing
 		// else, exactly PathDistribution's key space.
 		if c != nil && q.Opt.RankCap == 0 && len(q.Path) > 0 {
-			if res, ok := c.Get(s.queryKey(q.Path, q.Depart, m)); ok {
+			if res, ok := c.Get(s.queryKey(ep, q.Path, q.Depart, m)); ok {
 				out[i] = PlanResult{Res: res}
 				continue
 			}
@@ -453,7 +534,7 @@ func (s *System) PlanDistributions(ctx context.Context, queries []PlanQuery,
 					defer release()
 				}
 			}
-			res, st := bp.Distributions(ctx, s.synopsis.Load(), s.convMemo.Load(), missQ)
+			res, st := bp.Distributions(ctx, ep.Synopsis(), ep.memo.Load(), missQ)
 			stats = st
 			for j, i := range miss {
 				out[i] = res[j]
@@ -462,7 +543,7 @@ func (s *System) PlanDistributions(ctx context.Context, queries []PlanQuery,
 					if m == "" {
 						m = OD
 					}
-					c.Put(s.queryKey(missQ[j].Path, missQ[j].Depart, m), res[j].Res)
+					c.Put(s.queryKey(ep, missQ[j].Path, missQ[j].Depart, m), res[j].Res)
 				}
 			}
 			return true
@@ -529,10 +610,14 @@ func (s *System) SyntheticWorkload(n, card int, seed int64, departs []float64) (
 	return out, nil
 }
 
-// queryKey is the cache identity of a distribution query: the path's
-// canonical signature plus the departure α-interval and the method.
-func (s *System) queryKey(p Path, depart float64, m Method) string {
-	return p.Key() + "@" + strconv.Itoa(s.Params.IntervalOf(depart)) + "/" + string(m)
+// queryKey is the cache identity of a distribution query: the epoch
+// it was answered against, the path's canonical signature, the
+// departure α-interval and the method. The epoch prefix makes a
+// publish invalidate cached answers logically — entries of older
+// epochs can no longer be looked up and age out of the LRU.
+func (s *System) queryKey(ep *ModelEpoch, p Path, depart float64, m Method) string {
+	return "e" + strconv.FormatUint(ep.Seq, 10) + "|" + p.Key() +
+		"@" + strconv.Itoa(s.Params.IntervalOf(depart)) + "/" + string(m)
 }
 
 // PathDistribution estimates the cost distribution of a path at the
@@ -580,10 +665,14 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 		// and flight entry.
 		m = OD
 	}
+	// One epoch snapshot serves the whole query: however many retry
+	// iterations the flight takes, the answer — and the cache entry it
+	// fills — belongs to this epoch, even if a publish lands mid-query.
+	ep := s.epoch.Load()
 	if s.qcache.Load() == nil && acquire == nil {
 		// Uncached, ungated: skip the closure machinery entirely (the
 		// loop below would take this branch anyway).
-		return s.compute(p, depart, m)
+		return s.compute(ep, p, depart, m)
 	}
 	gated := func() (*QueryResult, error) {
 		if acquire != nil {
@@ -594,7 +683,7 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 				defer release()
 			}
 		}
-		return s.compute(p, depart, m)
+		return s.compute(ep, p, depart, m)
 	}
 	counted := false
 	for {
@@ -604,7 +693,7 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 			// owns its result and may post-process it freely.
 			return gated()
 		}
-		key := s.queryKey(p, depart, m)
+		key := s.queryKey(ep, p, depart, m)
 		// One logical query counts one hit or miss, however many
 		// retry iterations it takes: only the first lookup uses the
 		// stat-counting Get.
@@ -646,28 +735,28 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 }
 
 // compute runs one underlying estimation (the expensive step the
-// cache and singleflight both exist to avoid repeating). The synopsis
-// (offline, persisted) is consulted before the convolution memo
-// (runtime, lazy); either resumes evaluation from the deepest known
-// prefix of p, and the answer is byte-identical with both, either or
-// neither enabled.
-func (s *System) compute(p Path, depart float64, m Method) (*QueryResult, error) {
+// cache and singleflight both exist to avoid repeating) against one
+// epoch snapshot. The epoch's synopsis (offline, persisted) is
+// consulted before its convolution-memo view (runtime, lazy); either
+// resumes evaluation from the deepest known prefix of p, and the
+// answer is byte-identical with both, either or neither enabled.
+func (s *System) compute(ep *ModelEpoch, p Path, depart float64, m Method) (*QueryResult, error) {
 	if s.computeProbe != nil {
 		s.computeProbe()
 	}
-	syn := s.synopsis.Load()
-	mm := s.convMemo.Load()
+	syn := ep.Synopsis()
+	mm := ep.memo.Load()
 	if syn != nil || mm != nil {
-		return s.Hybrid.CostDistributionWith(syn, mm, p, depart, core.QueryOptions{Method: m})
+		return ep.Hybrid.CostDistributionWith(syn, mm, p, depart, core.QueryOptions{Method: m})
 	}
-	return s.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+	return ep.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
 }
 
 // GroundTruth runs the accuracy-optimal baseline (Section 2.2) on the
 // system's trajectory data; it fails when fewer than β trajectories
 // qualify (the sparseness problem).
 func (s *System) GroundTruth(p Path, depart float64) (*Histogram, int, error) {
-	return core.GroundTruth(s.Data, p, depart, s.Params)
+	return core.GroundTruth(s.Data(), p, depart, s.Params)
 }
 
 // Route answers a probabilistic budget query: the path from src to dst
@@ -676,17 +765,18 @@ func (s *System) GroundTruth(p Path, depart float64) (*Histogram, int, error) {
 // sibling expansions evaluate as one implicit batch on the planner's
 // worker pool; the answer is byte-identical either way.
 func (s *System) Route(src, dst VertexID, depart, budget float64, m Method) (*RouteResult, error) {
-	return s.Router.BestPath(routing.Query{
+	ep := s.epoch.Load()
+	return ep.Router.BestPath(routing.Query{
 		Source: src, Dest: dst, Depart: depart, Budget: budget,
-	}, s.routeOptions(m))
+	}, s.routeOptions(ep, m))
 }
 
 // routeOptions assembles the routing options shared by Route and
 // TopKRoutes, propagating the batch planner's worker bound when one
-// is enabled.
-func (s *System) routeOptions(m Method) routing.Options {
+// is enabled on the epoch.
+func (s *System) routeOptions(ep *ModelEpoch, m Method) routing.Options {
 	opt := routing.Options{Method: m, Incremental: true}
-	if bp := s.planner.Load(); bp != nil {
+	if bp := ep.planner.Load(); bp != nil {
 		opt.BatchWorkers = bp.Workers()
 	}
 	return opt
@@ -710,8 +800,9 @@ func (s *System) DensePaths(cardinality, minCount int) []DensePath {
 	}
 	counts := make(map[key]int)
 	samples := make(map[key]Path)
-	for i := 0; i < s.Data.Len(); i++ {
-		m := s.Data.Traj(i)
+	data := s.Data()
+	for i := 0; i < data.Len(); i++ {
+		m := data.Traj(i)
 		if len(m.Path) < cardinality {
 			continue
 		}
@@ -760,7 +851,7 @@ func (s *System) RandomQueryPath(n int, rnd func(int) int) (Path, error) {
 
 // Stats returns the hybrid graph's build statistics (variable counts
 // by rank, coverage, storage).
-func (s *System) Stats() core.BuildStats { return s.Hybrid.Stats() }
+func (s *System) Stats() core.BuildStats { return s.Hybrid().Stats() }
 
 // SaveModel writes the trained hybrid graph to w — including the
 // attached synopsis, when one exists, in a versioned trailing section
@@ -769,7 +860,8 @@ func (s *System) Stats() core.BuildStats { return s.Hybrid.Stats() }
 // minutes on its fleets), so real deployments train once and serve
 // many queries.
 func (s *System) SaveModel(w io.Writer) error {
-	return s.Hybrid.WriteModelSynopsis(w, s.synopsis.Load())
+	ep := s.epoch.Load()
+	return ep.Hybrid.WriteModelSynopsis(w, ep.Synopsis())
 }
 
 // LoadSystem restores a saved model against the road network it was
@@ -781,13 +873,7 @@ func LoadSystem(g *Graph, data *Collection, r io.Reader) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{
-		Graph:  g,
-		Data:   data,
-		Hybrid: h,
-		Router: routing.New(h),
-		Params: h.Params,
-	}
+	sys := newSystem(g, data, h, h.Params)
 	if syn != nil {
 		sys.AttachSynopsis(syn)
 	}
@@ -797,7 +883,257 @@ func LoadSystem(g *Graph, data *Collection, r io.Reader) (*System, error) {
 // TopKRoutes answers the probabilistic top-k path query: the k best
 // paths by probability of arriving within the budget.
 func (s *System) TopKRoutes(src, dst VertexID, depart, budget float64, k int, m Method) ([]routing.TopKResult, error) {
-	return s.Router.TopKPaths(routing.Query{
+	ep := s.epoch.Load()
+	return ep.Router.TopKPaths(routing.Query{
 		Source: src, Dest: dst, Depart: depart, Budget: budget,
-	}, k, s.routeOptions(m))
+	}, k, s.routeOptions(ep, m))
+}
+
+// ---------------------------------------------------------------------------
+// Epoch lifecycle: staging, incremental publish, stats.
+
+// SetDecayHalflife selects the incremental-maintenance mode for
+// subsequent publishes. Zero (the default) is exact mode: each publish
+// extends the trajectory collection and rebuilds exactly the touched
+// variables from their full occurrence lists, so the published model
+// is byte-identical to retraining from scratch on the concatenated
+// data. A positive halflife switches to decay mode: at publish time
+// every touched variable's old mass is scaled by 2^(-Δt/halflife)
+// (Δt = time since the previous publish) before the new mass merges
+// in, so stale observations fade exponentially; untouched variables
+// keep their stored (normalized) distributions, which is exact because
+// uniform decay cancels under normalization. Decay mode does not need
+// the trajectory collection, so it also serves models loaded without
+// data (LoadSystem with nil data). Safe to call concurrently.
+func (s *System) SetDecayHalflife(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.decayBits.Store(math.Float64bits(d.Seconds()))
+}
+
+// DecayHalflife returns the configured decay halflife (zero = exact
+// mode).
+func (s *System) DecayHalflife() time.Duration {
+	sec := math.Float64frombits(s.decayBits.Load())
+	return time.Duration(sec * float64(time.Second))
+}
+
+// StageTrajectories validates a batch of map-matched trajectories
+// against the system's graph and appends the valid ones to the staged
+// delta buffer, to be folded into the model by the next PublishEpoch.
+// Invalid entries (nil, failing Matched.Validate, or missing emission
+// costs when the model's domain is emissions) are counted in rejected
+// and dropped; one bad trajectory never poisons the batch. Staging
+// never touches the served model. Safe for concurrent use.
+func (s *System) StageTrajectories(batch []*Matched) (accepted, rejected int) {
+	ok := make([]*Matched, 0, len(batch))
+	for _, m := range batch {
+		if m == nil || m.Validate(s.Graph) != nil ||
+			(s.Params.Domain == DomainEmissions && m.Emissions == nil) {
+			rejected++
+			continue
+		}
+		ok = append(ok, m)
+	}
+	if len(ok) == 0 {
+		return 0, rejected
+	}
+	s.stageMu.Lock()
+	s.staged = append(s.staged, ok...)
+	s.stageMu.Unlock()
+	s.statMu.Lock()
+	s.stagedTotal += uint64(len(ok))
+	s.statMu.Unlock()
+	return len(ok), rejected
+}
+
+// StagedCount reports how many staged trajectories await the next
+// publish.
+func (s *System) StagedCount() int {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return len(s.staged)
+}
+
+// ApplyDeltas stages a batch and immediately publishes a new epoch —
+// the one-call form of StageTrajectories + PublishEpoch for embedded
+// use and tests. Anything already staged publishes along with it.
+func (s *System) ApplyDeltas(batch []*Matched) (EpochStats, error) {
+	s.StageTrajectories(batch)
+	return s.PublishEpoch()
+}
+
+// PublishEpoch folds every staged trajectory into a new model epoch
+// and atomically swaps it in. The build is copy-on-write: only
+// variables whose (sub-path, interval) was touched by the staged
+// batch are rebuilt (exact mode) or decayed-and-merged (decay mode);
+// everything else is shared with the previous epoch by pointer.
+// In-flight queries are never blocked — they finish on the epoch they
+// snapshotted, and the epoch-prefixed cache keys, memo views and the
+// rebuilt synopsis/planner guarantee no derived state computed against
+// the old model ever answers a query on the new one.
+//
+// With nothing staged, PublishEpoch is a no-op returning current
+// stats. On a build error the staged batch is restored (ahead of
+// anything staged meanwhile) so the data is not lost, and the served
+// epoch is unchanged. Publishers are serialized; queries and staging
+// proceed concurrently with a publish.
+func (s *System) PublishEpoch() (EpochStats, error) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+
+	s.stageMu.Lock()
+	staged := s.staged
+	s.staged = nil
+	s.stageMu.Unlock()
+
+	ep := s.epoch.Load()
+	if len(staged) == 0 {
+		return s.epochStats(ep), nil
+	}
+
+	halflife := s.DecayHalflife()
+	factor := 1.0
+	if halflife > 0 {
+		dt := time.Since(s.lastPublish)
+		if dt < 0 {
+			dt = 0
+		}
+		factor = math.Exp2(-dt.Seconds() / halflife.Seconds())
+		if factor < 1e-12 {
+			// Exp2 underflows to 0 for enormous gaps; the decay builder
+			// requires factor > 0, and 1e-12 already erases the past.
+			factor = 1e-12
+		}
+	}
+
+	t0 := time.Now()
+	var (
+		nh    *core.HybridGraph
+		nd    *Collection
+		delta core.EpochDelta
+		err   error
+	)
+	if halflife <= 0 {
+		nh, nd, delta, err = ep.Hybrid.ApplyBatchExact(ep.Data, staged)
+	} else {
+		nh, delta, err = ep.Hybrid.ApplyBatchDecay(staged, factor)
+		nd = ep.Data
+	}
+	if err != nil {
+		s.stageMu.Lock()
+		s.staged = append(staged, s.staged...)
+		s.stageMu.Unlock()
+		return s.epochStats(ep), err
+	}
+
+	// Carry the synopsis forward: entries whose sub-path shares no edge
+	// with the delta are still byte-exact and move by pointer; touched
+	// ones rematerialize against the new model; unanswerable ones drop.
+	var (
+		syn      *core.SynopsisStore
+		synStats core.SynopsisRebuildStats
+	)
+	if old := ep.Synopsis(); old != nil {
+		syn, synStats, err = old.Rebuild(nh, func(p Path) bool {
+			for _, e := range p {
+				if delta.TouchedEdges[e] {
+					return true
+				}
+			}
+			return false
+		})
+		if err != nil {
+			// Serving the new epoch without a synopsis beats refusing
+			// the publish; the store can be rebuilt offline.
+			syn = nil
+			synStats = core.SynopsisRebuildStats{}
+		}
+	}
+
+	seq := ep.Seq + 1
+	router := routing.New(nh)
+	var view *core.ConvMemo
+	if base := s.convMemo.Load(); base != nil {
+		view = base.ForEpoch(seq)
+	}
+	router.SetMemo(view)
+	router.SetSynopsis(syn)
+	nep := &ModelEpoch{Seq: seq, Hybrid: nh, Data: nd, Router: router}
+	nep.synopsis.Store(syn)
+	nep.memo.Store(view)
+	if bp := ep.planner.Load(); bp != nil {
+		nep.planner.Store(core.NewBatchPlanner(nh, bp.Workers()))
+	}
+	s.epoch.Store(nep)
+	s.lastPublish = time.Now()
+
+	s.statMu.Lock()
+	s.publishes++
+	s.lastDelta = delta
+	s.lastBuild = time.Since(t0)
+	s.lastFactor = factor
+	s.lastSyn = synStats
+	s.statMu.Unlock()
+	return s.epochStats(nep), nil
+}
+
+// EpochStats reports the epoch lifecycle's state: the served epoch,
+// staging backlog, and what the most recent publish did.
+type EpochStats struct {
+	// Seq is the served epoch's sequence number (1 = initial model).
+	Seq uint64
+	// Publishes counts successful epoch publishes.
+	Publishes uint64
+	// StagedPending is the staged-trajectory backlog awaiting publish;
+	// StagedTotal counts every trajectory ever accepted for staging.
+	StagedPending int
+	StagedTotal   uint64
+	// DecayHalflifeSec echoes the configured halflife (0 = exact mode).
+	DecayHalflifeSec float64
+	// LastTrajs .. LastNewVars describe the most recent publish's
+	// delta: trajectories folded in, distinct (sub-path, interval)
+	// variables touched, rebuilt and newly created.
+	LastTrajs       int
+	LastTouchedVars int
+	LastRebuiltVars int
+	LastNewVars     int
+	// LastBuildMS is the most recent publish's model-build time;
+	// LastDecayFactor the decay factor it applied (1 in exact mode).
+	LastBuildMS     int64
+	LastDecayFactor float64
+	// SynopsisCarried/Rematerialized/Dropped describe how the last
+	// publish carried the synopsis across the epoch boundary.
+	SynopsisCarried        int
+	SynopsisRematerialized int
+	SynopsisDropped        int
+}
+
+// EpochStats snapshots the epoch lifecycle counters. It never waits
+// behind an in-progress publish.
+func (s *System) EpochStats() EpochStats { return s.epochStats(s.epoch.Load()) }
+
+func (s *System) epochStats(ep *ModelEpoch) EpochStats {
+	s.stageMu.Lock()
+	pending := len(s.staged)
+	s.stageMu.Unlock()
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return EpochStats{
+		Seq:                    ep.Seq,
+		Publishes:              s.publishes,
+		StagedPending:          pending,
+		StagedTotal:            s.stagedTotal,
+		DecayHalflifeSec:       s.DecayHalflife().Seconds(),
+		LastTrajs:              s.lastDelta.Trajs,
+		LastTouchedVars:        s.lastDelta.TouchedPaths,
+		LastRebuiltVars:        s.lastDelta.RebuiltVars,
+		LastNewVars:            s.lastDelta.NewVars,
+		LastBuildMS:            s.lastBuild.Milliseconds(),
+		LastDecayFactor:        s.lastFactor,
+		SynopsisCarried:        s.lastSyn.Carried,
+		SynopsisRematerialized: s.lastSyn.Rematerialized,
+		SynopsisDropped:        s.lastSyn.Dropped,
+	}
 }

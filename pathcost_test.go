@@ -35,8 +35,8 @@ func testSystem(t testing.TB) *System {
 
 func TestSynthesizeAndStats(t *testing.T) {
 	s := testSystem(t)
-	if s.Graph.NumVertices() == 0 || s.Data.Len() != 4000 {
-		t.Fatalf("system malformed: %d vertices, %d trips", s.Graph.NumVertices(), s.Data.Len())
+	if s.Graph.NumVertices() == 0 || s.Data().Len() != 4000 {
+		t.Fatalf("system malformed: %d vertices, %d trips", s.Graph.NumVertices(), s.Data().Len())
 	}
 	st := s.Stats()
 	if st.TotalVariables() == 0 {
@@ -179,7 +179,7 @@ func TestNewSystemRejectsBadParams(t *testing.T) {
 	s := testSystem(t)
 	bad := DefaultParams()
 	bad.AlphaMinutes = -1
-	if _, err := NewSystem(s.Graph, s.Data, bad); err == nil {
+	if _, err := NewSystem(s.Graph, s.Data(), bad); err == nil {
 		t.Fatal("bad params accepted")
 	}
 }

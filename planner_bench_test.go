@@ -82,7 +82,7 @@ func BenchmarkBatchIndependent(b *testing.B) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				if _, err := sys.Hybrid.CostDistribution(q.Path, q.Depart, q.Opt); err != nil {
+				if _, err := sys.Hybrid().CostDistribution(q.Path, q.Depart, q.Opt); err != nil {
 					b.Error(err)
 				}
 			}(q)

@@ -78,7 +78,7 @@ func TestPlanDistributionsCacheInterplay(t *testing.T) {
 	// Storeless reference, computed before any cache exists.
 	ref := make([]*hist.Histogram, len(queries))
 	for i, q := range queries {
-		res, err := s.Hybrid.CostDistribution(q.Path, q.Depart, q.Opt)
+		res, err := s.Hybrid().CostDistribution(q.Path, q.Depart, q.Opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestPlanDistributionsErrorContainment(t *testing.T) {
 		if out[i].Err != nil {
 			t.Fatalf("valid entry %d poisoned by its neighbour: %v", i, out[i].Err)
 		}
-		res, err := s.Hybrid.CostDistribution(withBad[i].Path, withBad[i].Depart, withBad[i].Opt)
+		res, err := s.Hybrid().CostDistribution(withBad[i].Path, withBad[i].Depart, withBad[i].Opt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,18 +1,20 @@
 #!/bin/sh
 # bench.sh — benchmark trajectory for the convolution/memo/synopsis
-# engine. Runs the root benchmarks with -benchmem, parses ns/op,
-# B/op and allocs/op, and writes them as JSON (default: BENCH_6.json)
-# so perf changes land with recorded numbers instead of anecdotes.
+# engine and the epoch-publish ingest path. Runs the root benchmarks
+# with -benchmem, parses ns/op, B/op, allocs/op (plus deltas/sec where
+# a benchmark reports it), and writes them as JSON (default:
+# BENCH_7.json) so perf changes land with recorded numbers instead of
+# anecdotes.
 #
 # Usage:
-#   sh scripts/bench.sh              # writes BENCH_6.json
+#   sh scripts/bench.sh              # writes BENCH_7.json
 #   sh scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=5s sh scripts/bench.sh # custom -benchtime
 set -eu
 
-OUT=${1:-BENCH_6.json}
+OUT=${1:-BENCH_7.json}
 BENCHTIME=${BENCHTIME:-2s}
-PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$|BenchmarkBatchIndependent$|BenchmarkBatchPlanned$'
+PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$|BenchmarkBatchIndependent$|BenchmarkBatchPlanned$|BenchmarkIngestThroughput$|BenchmarkQueryDuringIngest$'
 
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
@@ -25,9 +27,10 @@ BEGIN { n = 0 }
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns[n]     = $i
-        if ($(i+1) == "B/op")      bytes[n]  = $i
-        if ($(i+1) == "allocs/op") allocs[n] = $i
+        if ($(i+1) == "ns/op")      ns[n]     = $i
+        if ($(i+1) == "B/op")       bytes[n]  = $i
+        if ($(i+1) == "allocs/op")  allocs[n] = $i
+        if ($(i+1) == "deltas/sec") deltas[n] = $i
     }
     names[n] = name
     n++
@@ -35,8 +38,9 @@ BEGIN { n = 0 }
 END {
     printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            names[i], ns[i], bytes[i], allocs[i], (i+1 < n) ? "," : ""
+        extra = (i in deltas) ? sprintf(", \"deltas_per_sec\": %s", deltas[i]) : ""
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}%s\n", \
+            names[i], ns[i], bytes[i], allocs[i], extra, (i+1 < n) ? "," : ""
     }
     printf "  ]\n}\n"
 }' "$TMP" > "$OUT"

@@ -97,7 +97,7 @@ func TestSynopsisRoutingEquivalence(t *testing.T) {
 	var dst VertexID = -1
 	for v := sys.Graph.NumVertices() - 1; v > 0; v-- {
 		if VertexID(v) != src {
-			if _, _, err := sys.Router.FastestPath(src, VertexID(v)); err == nil {
+			if _, _, err := sys.Router().FastestPath(src, VertexID(v)); err == nil {
 				dst = VertexID(v)
 				break
 			}
@@ -106,7 +106,7 @@ func TestSynopsisRoutingEquivalence(t *testing.T) {
 	if dst < 0 {
 		t.Skip("no reachable destination")
 	}
-	_, ff, err := sys.Router.FastestPath(src, dst)
+	_, ff, err := sys.Router().FastestPath(src, dst)
 	if err != nil {
 		t.Fatal(err)
 	}
