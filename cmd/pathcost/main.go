@@ -28,6 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/gps"
 	"repro/internal/graph"
 	"repro/internal/netgen"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -61,6 +63,8 @@ func main() {
 	synSize := flag.Int("synopsis", 0, "offline sub-path synopsis entry budget (0 = disabled); built from a synthetic prefix-heavy workload and saved with -save-model")
 	synBytes := flag.Int("synopsis-bytes", 0, "synopsis byte budget for the serialized entries (0 = unbounded)")
 	synWorkload := flag.Int("synopsis-workload", 512, "workload-sample size used to train the synopsis")
+	partitionK := flag.Int("partition", 0, "split the trained model into this many region shards for the sharded serving tier (0 = disabled)")
+	partitionOut := flag.String("partition-out", "shards", "output prefix for -partition: writes <prefix>.partition, <prefix>-shard<R>.model and <prefix>-union.model")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -114,6 +118,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+	if *partitionK > 0 {
+		if err := writePartition(sys, *partitionK, *partitionOut); err != nil {
+			fatal(err)
+		}
 	}
 	st := sys.Stats()
 	fmt.Printf("trained in %v: %d vertices, %d edges, %d variables (by rank %v), coverage %.1f%%\n\n",
@@ -511,4 +520,48 @@ func clock(t float64) string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pathcost:", err)
 	os.Exit(1)
+}
+
+// writePartition cuts the trained model into k region shards for the
+// sharded serving tier: <prefix>.partition holds the vertex→region
+// map (the coordinator's input), <prefix>-shard<R>.model each region's
+// model slice (one pathcostd -model per shard), and
+// <prefix>-union.model the single-process reference model the sharded
+// deployment is byte-identical to.
+func writePartition(sys *pathcost.System, k int, prefix string) error {
+	part, err := shard.NewPartition(sys.Graph, k, sys.Params)
+	if err != nil {
+		return err
+	}
+	res, err := shard.SplitModel(sys, part)
+	if err != nil {
+		return err
+	}
+	writeFile := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	pname := prefix + ".partition"
+	if err := writeFile(pname, part.Write); err != nil {
+		return err
+	}
+	for r, ss := range res.Shards {
+		name := fmt.Sprintf("%s-shard%d.model", prefix, r)
+		if err := writeFile(name, ss.SaveModel); err != nil {
+			return err
+		}
+	}
+	if err := writeFile(prefix+"-union.model", res.Union.SaveModel); err != nil {
+		return err
+	}
+	fmt.Printf("partitioned into %d regions: %s + %d shard models + union reference (%d cross-region variables dropped, %d synopsis entries dropped)\n",
+		k, pname, len(res.Shards), res.Dropped, res.DroppedSynopsis)
+	return nil
 }

@@ -71,12 +71,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	pathcost "repro"
 	"repro/internal/netgen"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // options collects every knob of the daemon so the run loop is a
@@ -94,13 +96,24 @@ type options struct {
 	planWorkers int
 	useSynopsis bool
 	maxInFlight int
+	maxQueue    int
 	drain       time.Duration
+	pprofAddr   string
 
 	enableIngest  bool
 	ingestWorkers int
 	maxIngest     int
 	epochInterval time.Duration
 	decayHalflife time.Duration
+
+	// Coordinator mode: serve the API over a fleet of shards instead
+	// of a local model.
+	coordinator   bool
+	shards        string
+	partitionFile string
+	hedgeAfter    time.Duration
+	probeInterval time.Duration
+	shardTimeout  time.Duration
 }
 
 func main() {
@@ -118,20 +131,23 @@ func main() {
 	flag.IntVar(&opt.planWorkers, "plan-workers", runtime.NumCPU(), "batch-planner worker pool: /v1/batch plans its distribution entries as one unit so shared sub-paths are convolved once (0 = planner disabled); exact — planned answers are byte-identical")
 	flag.BoolVar(&opt.useSynopsis, "synopsis", true, "serve the offline sub-path synopsis embedded in -model, when present (false drops it after load)")
 	flag.IntVar(&opt.maxInFlight, "max-inflight", 0, "max concurrently evaluated queries (0 = default)")
+	flag.IntVar(&opt.maxQueue, "max-queue", 0, "load shedding: max requests queued for an evaluation slot before new arrivals get 429 + Retry-After (0 = no shedding)")
 	flag.DurationVar(&opt.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
+	flag.BoolVar(&opt.coordinator, "coordinator", false, "serve as the sharded-tier coordinator over -shards instead of a local model (requires -network and -partition)")
+	flag.StringVar(&opt.shards, "shards", "", "comma-separated shard base URLs, one per partition region in order (coordinator mode)")
+	flag.StringVar(&opt.partitionFile, "partition", "", "region partition file written by cmd/pathcost -partition (coordinator mode)")
+	flag.DurationVar(&opt.hedgeAfter, "hedge-after", 150*time.Millisecond, "race a second leg against a shard call slower than this (coordinator mode)")
+	flag.DurationVar(&opt.probeInterval, "probe-interval", 2*time.Second, "per-shard /healthz probe spacing; negative disables (coordinator mode)")
+	flag.DurationVar(&opt.shardTimeout, "shard-timeout", 10*time.Second, "per-leg shard call timeout (coordinator mode)")
 	flag.BoolVar(&opt.enableIngest, "ingest", false, "enable POST /v1/ingest: raw GPS batches are map-matched and staged for the next epoch publish")
 	flag.IntVar(&opt.ingestWorkers, "ingest-workers", runtime.NumCPU(), "map-matching worker pool per ingest batch")
 	flag.IntVar(&opt.maxIngest, "max-ingest-batch", 0, "max trajectories per /v1/ingest request (0 = default)")
 	flag.DurationVar(&opt.epochInterval, "epoch-interval", 0, "publish a new model epoch this often when deltas are staged (0 = only on SIGHUP)")
 	flag.DurationVar(&opt.decayHalflife, "decay-halflife", 0, "exponential time-decay halflife for epoch publishes (0 = exact incremental rebuild)")
-	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
+	flag.StringVar(&opt.pprofAddr, "pprof", "", "listen address for net/http/pprof and /metrics (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pathcostd: ", log.LstdFlags)
-
-	if *pprofAddr != "" {
-		go servePprof(*pprofAddr, logger)
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -151,6 +167,9 @@ func main() {
 // non-nil, is called with the bound address and the served system
 // once the listener is up — tests bind port 0 and discover both here.
 func run(ctx context.Context, opt options, logger *log.Logger, hup <-chan os.Signal, onReady func(net.Addr, *pathcost.System)) error {
+	if opt.coordinator {
+		return runCoordinator(ctx, opt, logger, onReady)
+	}
 	sys, err := buildSystem(opt, logger)
 	if err != nil {
 		return err
@@ -172,10 +191,14 @@ func run(ctx context.Context, opt options, logger *log.Logger, hup <-chan os.Sig
 
 	srv := server.New(sys, server.Config{
 		MaxInFlight:    opt.maxInFlight,
+		MaxQueue:       opt.maxQueue,
 		EnableIngest:   opt.enableIngest,
 		IngestWorkers:  opt.ingestWorkers,
 		MaxIngestBatch: opt.maxIngest,
 	})
+	if opt.pprofAddr != "" {
+		go servePprof(opt.pprofAddr, logger, srv.Metrics())
+	}
 
 	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
@@ -188,6 +211,68 @@ func run(ctx context.Context, opt options, logger *log.Logger, hup <-chan os.Sig
 	go epochLoop(ctx, sys, opt.epochInterval, hup, logger)
 
 	return srv.RunListener(ctx, ln, opt.drain)
+}
+
+// runCoordinator is run's coordinator-mode body: no model is loaded —
+// only the network and its region partition — and every query is
+// answered by decomposing it over the shard fleet. The coordinator
+// serves /metrics on its main mux (it has no evaluation hot path to
+// protect), and -pprof still opens the usual debug listener.
+func runCoordinator(ctx context.Context, opt options, logger *log.Logger, onReady func(net.Addr, *pathcost.System)) error {
+	if opt.networkFile == "" || opt.partitionFile == "" {
+		return fmt.Errorf("-coordinator requires -network and -partition")
+	}
+	var bases []string
+	for _, s := range strings.Split(opt.shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			bases = append(bases, s)
+		}
+	}
+	if len(bases) == 0 {
+		return fmt.Errorf("-coordinator requires -shards (comma-separated base URLs, one per region)")
+	}
+	nf, err := os.Open(opt.networkFile)
+	if err != nil {
+		return err
+	}
+	g, err := netgen.ReadGraph(nf)
+	nf.Close()
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(opt.partitionFile)
+	if err != nil {
+		return err
+	}
+	part, err := shard.ReadPartition(pf, g)
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	coord, err := shard.New(g, part, shard.Config{
+		Shards:        bases,
+		MaxInFlight:   opt.maxInFlight,
+		MaxQueue:      opt.maxQueue,
+		Timeout:       opt.shardTimeout,
+		HedgeAfter:    opt.hedgeAfter,
+		ProbeInterval: opt.probeInterval,
+	})
+	if err != nil {
+		return err
+	}
+	if opt.pprofAddr != "" {
+		go servePprof(opt.pprofAddr, logger, nil)
+	}
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		return err
+	}
+	if onReady != nil {
+		onReady(ln.Addr(), nil)
+	}
+	logger.Printf("coordinating %d shards over %d vertices / %d regions on %s",
+		len(bases), g.NumVertices(), part.K, opt.addr)
+	return coord.RunListener(ctx, ln, opt.drain)
 }
 
 // epochLoop publishes staged deltas into new model epochs: on a timer
@@ -232,16 +317,21 @@ func epochLoop(ctx context.Context, sys *pathcost.System, interval time.Duration
 	}
 }
 
-// servePprof runs the profiling endpoints on their own listener and
-// mux — never the query listener, and never the default mux, so the
-// debug surface cannot leak onto the serving port.
-func servePprof(addr string, logger *log.Logger) {
+// servePprof runs the profiling endpoints — and, when a metrics
+// handler is given, the Prometheus /metrics scrape — on their own
+// listener and mux: never the query listener, and never the default
+// mux, so the debug surface cannot leak onto the serving port and
+// scrapers never compete with queries for the serving socket.
+func servePprof(addr string, logger *log.Logger, metrics http.Handler) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
 	logger.Printf("pprof listening on %s", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		logger.Printf("pprof listener failed: %v", err)

@@ -1,0 +1,8 @@
+// Package api defines the JSON wire types and request-validation
+// helpers of the pathcost HTTP API, shared by the single-process
+// server (internal/server) and the sharded-serving coordinator
+// (internal/shard). Keeping one set of shapes is what lets the
+// coordinator emit responses byte-identical to a single process: both
+// tiers marshal the same structs with the same tags, and the
+// distribution payload is assembled by one function.
+package api

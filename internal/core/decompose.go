@@ -124,13 +124,25 @@ func getCandidateArray(n int) *CandidateArray {
 // trajectory-backed one when temporally relevant, else the speed-limit
 // fallback, so a decomposition covering p always exists.
 func (h *HybridGraph) BuildCandidateArray(p graph.Path, t float64) (*CandidateArray, error) {
+	ca, _, err := h.buildCandidateArrayFrom(p, TimeInterval{Lo: t, Hi: t})
+	return ca, err
+}
+
+// buildCandidateArrayFrom is BuildCandidateArray seeded with an
+// arbitrary departure interval — the continuation case of cross-shard
+// evaluation, where UI_0 is the interval relayed from the previous
+// segment rather than the query's point departure. It also returns the
+// interval past the last edge (the next segment's seed). UI chaining
+// is a left fold over single-edge variables, so segment-local chaining
+// from a relayed interval reproduces the whole-path intervals exactly.
+func (h *HybridGraph) buildCandidateArrayFrom(p graph.Path, ui0 TimeInterval) (*CandidateArray, TimeInterval, error) {
 	if !h.G.ValidPath(p) {
-		return nil, fmt.Errorf("core: query %v is not a valid path", p)
+		return nil, TimeInterval{}, fmt.Errorf("core: query %v is not a valid path", p)
 	}
 	ca := getCandidateArray(len(p))
 	// Updated departure intervals per Eq. 3, driven by the rank-1
 	// variables of the preceding edges.
-	ui := TimeInterval{Lo: t, Hi: t}
+	ui := ui0
 	for k := range p {
 		ca.UIs[k] = ui
 		unit := h.bestUnitVariable(p[k], ui)
@@ -190,7 +202,7 @@ func (h *HybridGraph) BuildCandidateArray(p graph.Path, t float64) (*CandidateAr
 		}
 		sortByRank(ca.Rows[k].Vars)
 	}
-	return ca, nil
+	return ca, ui, nil
 }
 
 func sortByRank(vs []*Variable) {

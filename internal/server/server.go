@@ -13,11 +13,11 @@ import (
 	"time"
 
 	pathcost "repro"
+	"repro/internal/api"
 	"repro/internal/cache"
 	"repro/internal/geo"
 	"repro/internal/gps"
 	"repro/internal/graph"
-	"repro/internal/hist"
 	"repro/internal/ingest"
 )
 
@@ -57,6 +57,13 @@ type Config struct {
 	// MaxIngestBatch caps the trajectories accepted in one /v1/ingest
 	// request (0 = 1024).
 	MaxIngestBatch int
+	// MaxQueue, when > 0, sheds load: a query arriving while MaxQueue
+	// or more requests are already waiting for an evaluation slot is
+	// answered 429 with Retry-After instead of joining the queue.
+	// Shedding at admission keeps queue depth — and thus worst-case
+	// latency behind the MaxInFlight gate — bounded. 0 disables
+	// shedding (requests queue until the client gives up).
+	MaxQueue int
 }
 
 // Server serves one pathcost.System over HTTP. Create with New, mount
@@ -77,7 +84,9 @@ type Server struct {
 	served    atomic.Uint64 // requests answered 2xx
 	rejected  atomic.Uint64 // requests answered 4xx/5xx
 	abandoned atomic.Uint64 // clients that disconnected while queued for a slot
+	shed      atomic.Uint64 // requests answered 429 by the MaxQueue load shedder
 	reloads   atomic.Uint64 // Swap calls
+	queued    atomic.Int64  // requests currently waiting for an evaluation slot
 }
 
 // New builds a Server around sys.
@@ -112,6 +121,7 @@ func New(sys *pathcost.System, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/route", s.handleRoute)
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/state", s.handleState)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
@@ -170,11 +180,20 @@ func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) erro
 // discover the address before requests fly. The listener is owned and
 // closed by the server.
 func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	return ServeListener(ctx, s.mux, ln, drain)
+}
+
+// ServeListener serves handler on ln until ctx is cancelled, then
+// drains with the same contract as RunListener (drain == 0 closes
+// immediately, drain < 0 means the 10-second default). Extracted so
+// the sharded coordinator reuses the exact shutdown behavior for its
+// own handler tree.
+func ServeListener(ctx context.Context, handler http.Handler, ln net.Listener, drain time.Duration) error {
 	if drain < 0 {
 		drain = 10 * time.Second
 	}
 	srv := &http.Server{
-		Handler:           s.mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -221,6 +240,15 @@ func (s *Server) acquire(ctx context.Context) bool {
 	}
 	select {
 	case s.sem <- struct{}{}:
+		// Free slot: never counts toward queue depth, so an idle
+		// server cannot shed.
+		return true
+	default:
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
 		return true
 	case <-ctx.Done():
 		// Nothing will be written for this request; count it so
@@ -232,114 +260,46 @@ func (s *Server) acquire(ctx context.Context) bool {
 
 func (s *Server) release() { <-s.sem }
 
+// shedIfOverloaded implements Config.MaxQueue admission control: when
+// the slot queue is already at its bound, answer 429 + Retry-After now
+// rather than stacking another waiter behind the MaxInFlight gate.
+// Checked at handler entry, before the body is even parsed — a shed
+// request should cost close to nothing. Distinct from the 503 a gate
+// rejection maps to: 429 means "healthy but full, back off", and the
+// coordinator's hedging treats it as advisory, not as shard failure.
+func (s *Server) shedIfOverloaded(w http.ResponseWriter) bool {
+	if s.cfg.MaxQueue <= 0 || s.queued.Load() < int64(s.cfg.MaxQueue) {
+		return false
+	}
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	return true
+}
+
 // --- JSON shapes -----------------------------------------------------
+//
+// The request/response shapes live in internal/api so the sharded
+// coordinator emits byte-identical bodies; the aliases keep this file
+// readable and the handler signatures unchanged.
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// bucketJSON is one histogram bucket: P(cost ∈ [Lo, Hi)) = Pr.
-type bucketJSON struct {
-	Lo float64 `json:"lo"`
-	Hi float64 `json:"hi"`
-	Pr float64 `json:"pr"`
-}
-
-// distributionRequest asks for the cost distribution of a path.
-type distributionRequest struct {
-	// Path is the sequence of adjacent edge IDs to evaluate.
-	Path []int64 `json:"path"`
-	// Depart is the departure time in seconds (time-of-day or absolute).
-	Depart float64 `json:"depart"`
-	// Method is one of OD (default), RD, HP, LB.
-	Method string `json:"method,omitempty"`
-	// Budget, when > 0, adds prob_within = P(cost ≤ Budget).
-	Budget float64 `json:"budget,omitempty"`
-}
-
-type distributionResponse struct {
-	Method      string       `json:"method"`
-	Interval    int          `json:"interval"` // departure α-interval index
-	MeanS       float64      `json:"mean_s"`
-	P10S        float64      `json:"p10_s"`
-	P50S        float64      `json:"p50_s"`
-	P90S        float64      `json:"p90_s"`
-	ProbWithin  *float64     `json:"prob_within,omitempty"`
-	Buckets     []bucketJSON `json:"buckets"`
-	DecompPaths int          `json:"decomp_paths"`
-	MaxRank     int          `json:"max_rank"`
-	// EvalUS is the cost of the underlying evaluation that produced
-	// this answer — for cache hits and stampede followers that is a
-	// prior request's computation, not work done by this request.
-	EvalUS int64 `json:"eval_us"`
-}
-
-type routeRequest struct {
-	Source int64   `json:"source"`
-	Dest   int64   `json:"dest"`
-	Depart float64 `json:"depart"`
-	Budget float64 `json:"budget"`
-	Method string  `json:"method,omitempty"`
-}
-
-type routeResponse struct {
-	Path     []int64 `json:"path"`
-	Prob     float64 `json:"prob"`
-	MeanS    float64 `json:"mean_s"`
-	Explored int     `json:"explored"`
-	Pruned   int     `json:"pruned"`
-	EvalUS   int64   `json:"eval_us"`
-}
-
-type topkRequest struct {
-	routeRequest
-	K int `json:"k"`
-}
-
-type topkEntry struct {
-	Path  []int64 `json:"path"`
-	Prob  float64 `json:"prob"`
-	MeanS float64 `json:"mean_s"`
-}
-
-type topkResponse struct {
-	Routes []topkEntry `json:"routes"`
-}
-
-// batchQuery is one entry of a /v1/batch request: a flattened union
-// of the distribution, route and topk request shapes, discriminated
-// by Kind ("distribution" — the default — "route" or "topk").
-type batchQuery struct {
-	Kind   string  `json:"kind,omitempty"`
-	Path   []int64 `json:"path,omitempty"`
-	Source int64   `json:"source,omitempty"`
-	Dest   int64   `json:"dest,omitempty"`
-	Depart float64 `json:"depart"`
-	Budget float64 `json:"budget,omitempty"`
-	Method string  `json:"method,omitempty"`
-	K      int     `json:"k,omitempty"`
-}
-
-type batchRequest struct {
-	Queries []batchQuery `json:"queries"`
-}
-
-// batchResult is one entry's outcome. Status carries the status code
-// the query would have received as a standalone request (200, 400,
-// 422, 500); exactly one of the payload fields is set on 200.
-type batchResult struct {
-	Kind         string                `json:"kind"`
-	Status       int                   `json:"status"`
-	Error        string                `json:"error,omitempty"`
-	Distribution *distributionResponse `json:"distribution,omitempty"`
-	Route        *routeResponse        `json:"route,omitempty"`
-	TopK         *topkResponse         `json:"topk,omitempty"`
-}
-
-type batchResponse struct {
-	Results []batchResult `json:"results"`
-}
+type (
+	errorResponse        = api.Error
+	bucketJSON           = api.Bucket
+	distributionRequest  = api.DistributionRequest
+	distributionResponse = api.DistributionResponse
+	routeRequest         = api.RouteRequest
+	routeResponse        = api.RouteResponse
+	topkRequest          = api.TopKRequest
+	topkEntry            = api.TopKEntry
+	topkResponse         = api.TopKResponse
+	batchQuery           = api.BatchQuery
+	batchRequest         = api.BatchRequest
+	batchResult          = api.BatchResult
+	batchResponse        = api.BatchResponse
+	stateRequest         = api.StateRequest
+	stateResult          = api.StateResult
+)
 
 // ingestPointJSON is one raw GPS fix.
 type ingestPointJSON struct {
@@ -394,8 +354,10 @@ type statsResponse struct {
 	Served      uint64  `json:"served"`
 	Rejected    uint64  `json:"rejected"`
 	Abandoned   uint64  `json:"abandoned"`
+	Shed        uint64  `json:"shed"`
 	Reloads     uint64  `json:"reloads"`
 	MaxInFlight int     `json:"max_in_flight"`
+	MaxQueue    int     `json:"max_queue,omitempty"`
 }
 
 type cacheStatsJSON struct {
@@ -471,56 +433,23 @@ type epochStatsJSON struct {
 }
 
 // --- validation helpers ----------------------------------------------
+//
+// Shared with the coordinator via internal/api so both tiers reject
+// malformed requests with identical messages.
 
 // parseMethod validates the method name; empty selects OD.
-func parseMethod(name string) (pathcost.Method, error) {
-	switch strings.ToUpper(strings.TrimSpace(name)) {
-	case "", "OD":
-		return pathcost.OD, nil
-	case "RD":
-		return pathcost.RD, nil
-	case "HP":
-		return pathcost.HP, nil
-	case "LB":
-		return pathcost.LB, nil
-	}
-	return "", fmt.Errorf("unknown method %q (want OD, RD, HP or LB)", name)
-}
+func parseMethod(name string) (pathcost.Method, error) { return api.ParseMethod(name) }
 
 // parsePath validates the edge sequence against the served graph.
 func parsePath(g *pathcost.Graph, ids []int64, maxEdges int) (pathcost.Path, error) {
-	if len(ids) == 0 {
-		return nil, errors.New("path must contain at least one edge id")
-	}
-	if len(ids) > maxEdges {
-		return nil, fmt.Errorf("path has %d edges, cap is %d", len(ids), maxEdges)
-	}
-	p := make(pathcost.Path, len(ids))
-	for i, id := range ids {
-		if id < 0 || int(id) >= g.NumEdges() {
-			return nil, fmt.Errorf("edge id %d out of range [0, %d)", id, g.NumEdges())
-		}
-		p[i] = pathcost.EdgeID(id)
-	}
-	if !g.ValidPath(p) {
-		return nil, errors.New("edge sequence is not a connected simple path in the served network")
-	}
-	return p, nil
+	return api.ParsePath(g, ids, maxEdges)
 }
 
 func checkVertex(g *pathcost.Graph, name string, v int64) error {
-	if v < 0 || int(v) >= g.NumVertices() {
-		return fmt.Errorf("%s vertex %d out of range [0, %d)", name, v, g.NumVertices())
-	}
-	return nil
+	return api.CheckVertex(g, name, v)
 }
 
-func checkDepart(depart float64) error {
-	if depart < 0 {
-		return fmt.Errorf("depart %v must be ≥ 0 seconds", depart)
-	}
-	return nil
-}
+func checkDepart(depart float64) error { return api.CheckDepart(depart) }
 
 // --- handlers ---------------------------------------------------------
 
@@ -533,6 +462,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfOverloaded(w) {
+		return
+	}
 	var req distributionRequest
 	if !s.readRequest(w, r, &req) {
 		return
@@ -542,6 +474,9 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfOverloaded(w) {
+		return
+	}
 	var req routeRequest
 	if !s.readRequest(w, r, &req) {
 		return
@@ -551,11 +486,31 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfOverloaded(w) {
+		return
+	}
 	var req topkRequest
 	if !s.readRequest(w, r, &req) {
 		return
 	}
 	resp, status, msg := s.evalTopK(r.Context(), s.System(), &req)
+	s.writeOutcome(w, status, msg, resp)
+}
+
+// handleState serves POST /v1/state: one segment of a partitioned
+// query, evaluated against this shard's model slice. The endpoint is
+// part of the cross-shard composition protocol — coordinators are the
+// expected callers — but it is stateless and safe to expose alongside
+// the query endpoints.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfOverloaded(w) {
+		return
+	}
+	var req stateRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	resp, status, msg := s.evalState(r.Context(), s.System(), &req)
 	s.writeOutcome(w, status, msg, resp)
 }
 
@@ -571,6 +526,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // codes carry what each query would have received standalone, planned
 // or not.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfOverloaded(w) {
+		return
+	}
 	var req batchRequest
 	if !s.readRequest(w, r, &req) {
 		return
@@ -681,15 +639,21 @@ func (s *Server) evalBatchEntry(ctx context.Context, sys *pathcost.System, q *ba
 		out.Route, out.Status, out.Error = resp, status, msg
 	case "topk":
 		resp, status, msg := s.evalTopK(ctx, sys, &topkRequest{
-			routeRequest: routeRequest{
+			RouteRequest: routeRequest{
 				Source: q.Source, Dest: q.Dest, Depart: q.Depart, Budget: q.Budget, Method: q.Method,
 			},
 			K: q.K,
 		})
 		out.TopK, out.Status, out.Error = resp, status, msg
+	case "state":
+		resp, status, msg := s.evalState(ctx, sys, &stateRequest{
+			Path: q.Path, Depart: q.Depart, Method: q.Method,
+			UILo: q.UILo, UIHi: q.UIHi, State: q.State,
+		})
+		out.State, out.Status, out.Error = resp, status, msg
 	default:
 		out.Status = http.StatusBadRequest
-		out.Error = fmt.Sprintf("unknown kind %q (want distribution, route or topk)", q.Kind)
+		out.Error = fmt.Sprintf("unknown kind %q (want distribution, route, topk or state)", q.Kind)
 	}
 	return out
 }
@@ -719,25 +683,11 @@ func (s *Server) checkDistribution(sys *pathcost.System, req *distributionReques
 
 // distributionJSON shapes one evaluated distribution result; shared
 // by the single-query path and the planned batch path so both emit
-// identical bodies.
+// identical bodies. The payload itself is assembled in internal/api,
+// where the sharded coordinator builds its composed answers too.
 func distributionJSON(sys *pathcost.System, m pathcost.Method, depart, budget float64, res *pathcost.QueryResult) *distributionResponse {
-	resp := &distributionResponse{
-		Method:      string(m),
-		Interval:    sys.Params.IntervalOf(depart),
-		MeanS:       res.Dist.Mean(),
-		P10S:        res.Dist.Quantile(0.1),
-		P50S:        res.Dist.Quantile(0.5),
-		P90S:        res.Dist.Quantile(0.9),
-		Buckets:     bucketsJSON(res.Dist.Buckets()),
-		DecompPaths: res.Decomp.Cardinality(),
-		MaxRank:     res.Decomp.MaxRank(),
-		EvalUS:      res.Timing.Total().Microseconds(),
-	}
-	if budget > 0 {
-		pw := res.Dist.ProbWithin(budget)
-		resp.ProbWithin = &pw
-	}
-	return resp
+	return api.DistributionPayload(string(m), sys.Params.IntervalOf(depart), res.Dist,
+		budget, res.Decomp.Cardinality(), res.Decomp.MaxRank(), res.Timing.Total().Microseconds())
 }
 
 // evalDistribution validates and answers one distribution query.
@@ -796,7 +746,7 @@ func (s *Server) evalRoute(ctx context.Context, sys *pathcost.System, req *route
 // evalTopK validates and answers one top-k query; the status contract
 // matches evalDistribution.
 func (s *Server) evalTopK(ctx context.Context, sys *pathcost.System, req *topkRequest) (*topkResponse, int, string) {
-	m, err := checkRouteRequest(sys.Graph, &req.routeRequest)
+	m, err := checkRouteRequest(sys.Graph, &req.RouteRequest)
 	if err != nil {
 		return nil, http.StatusBadRequest, err.Error()
 	}
@@ -821,6 +771,68 @@ func (s *Server) evalTopK(ctx context.Context, sys *pathcost.System, req *topkRe
 		})
 	}
 	return out, http.StatusOK, ""
+}
+
+// evalState validates and answers one segment evaluation; the status
+// contract matches evalDistribution. The relayed state is untrusted
+// wire data: a decode failure is the caller's 400, never a panic.
+// Segment evaluation is CPU-bound like any query, so it is charged one
+// MaxInFlight slot.
+func (s *Server) evalState(ctx context.Context, sys *pathcost.System, req *stateRequest) (*stateResult, int, string) {
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	if m == pathcost.RD {
+		return nil, http.StatusBadRequest,
+			"method RD draws one random decomposition over the whole query; it cannot be evaluated segment by segment"
+	}
+	if err := checkDepart(req.Depart); err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	if req.UIHi < req.UILo {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("inverted departure interval [%g, %g]", req.UILo, req.UIHi)
+	}
+	p, err := parsePath(sys.Graph, req.Path, s.cfg.MaxPathEdges)
+	if err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+	var st *pathcost.ChainState
+	if req.State != "" {
+		st, err = pathcost.DecodeChainState([]byte(req.State), len(p))
+		if err != nil {
+			return nil, http.StatusBadRequest, err.Error()
+		}
+	}
+	if !s.acquire(ctx) {
+		return nil, 0, ""
+	}
+	res, err := func() (*pathcost.SegmentResult, error) {
+		defer s.release() // deferred: a panicking evaluation must not leak the slot
+		return sys.EvaluateSegment(pathcost.SegmentInput{
+			Path:   p,
+			Depart: req.Depart,
+			UI:     pathcost.TimeInterval{Lo: req.UILo, Hi: req.UIHi},
+			State:  st,
+			Opt:    pathcost.QueryOptions{Method: m},
+		})
+	}()
+	if err != nil {
+		status, msg := s.queryErrorStatus(ctx, err)
+		return nil, status, msg
+	}
+	enc, err := res.State.Encode()
+	if err != nil {
+		return nil, http.StatusInternalServerError, "internal error encoding partial state"
+	}
+	return &stateResult{
+		State:   string(enc),
+		UILo:    res.UI.Lo,
+		UIHi:    res.UI.Hi,
+		Factors: res.Factors,
+		MaxRank: res.MaxRank,
+	}, http.StatusOK, ""
 }
 
 // handleIngest accepts a batch of raw GPS traces, map-matches it on
@@ -898,8 +910,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Served:          s.served.Load(),
 		Rejected:        s.rejected.Load(),
 		Abandoned:       s.abandoned.Load(),
+		Shed:            s.shed.Load(),
 		Reloads:         s.reloads.Load(),
 		MaxInFlight:     s.cfg.MaxInFlight,
+		MaxQueue:        s.cfg.MaxQueue,
 	}
 	if cst, ok := sys.QueryCacheStats(); ok {
 		resp.Cache = &cacheStatsJSON{
@@ -928,30 +942,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			IndependentSteps: pst.IndependentSteps, SavedSteps: pst.SavedSteps(),
 		}
 	}
-	if p := s.pipeline.Load(); p != nil {
-		ist := p.Stats()
-		resp.Ingest = &ingestStatsJSON{
-			Batches: ist.Batches, Received: ist.Received, Records: ist.Records,
-			Matched: ist.Matched, MatchFailed: ist.MatchFailed,
-			Staged: ist.Staged, Rejected: ist.Rejected,
+	// The ingest and epoch blocks describe the streaming-ingestion
+	// lifecycle; on a query-only server (-ingest off) that machinery is
+	// deliberately dark, so the blocks are omitted just as the
+	// /v1/ingest endpoint is — a read-only replica should not advertise
+	// an update pipeline it refuses to feed.
+	if s.cfg.EnableIngest {
+		if p := s.pipeline.Load(); p != nil {
+			ist := p.Stats()
+			resp.Ingest = &ingestStatsJSON{
+				Batches: ist.Batches, Received: ist.Received, Records: ist.Records,
+				Matched: ist.Matched, MatchFailed: ist.MatchFailed,
+				Staged: ist.Staged, Rejected: ist.Rejected,
+			}
 		}
-	}
-	est := sys.EpochStats()
-	resp.Epoch = &epochStatsJSON{
-		Seq:                    est.Seq,
-		Publishes:              est.Publishes,
-		StagedPending:          est.StagedPending,
-		StagedTotal:            est.StagedTotal,
-		DecayHalflifeS:         est.DecayHalflifeSec,
-		LastTrajs:              est.LastTrajs,
-		LastTouchedVars:        est.LastTouchedVars,
-		LastRebuiltVars:        est.LastRebuiltVars,
-		LastNewVars:            est.LastNewVars,
-		LastBuildMS:            est.LastBuildMS,
-		LastDecayFactor:        est.LastDecayFactor,
-		SynopsisCarried:        est.SynopsisCarried,
-		SynopsisRematerialized: est.SynopsisRematerialized,
-		SynopsisDropped:        est.SynopsisDropped,
+		est := sys.EpochStats()
+		resp.Epoch = &epochStatsJSON{
+			Seq:                    est.Seq,
+			Publishes:              est.Publishes,
+			StagedPending:          est.StagedPending,
+			StagedTotal:            est.StagedTotal,
+			DecayHalflifeS:         est.DecayHalflifeSec,
+			LastTrajs:              est.LastTrajs,
+			LastTouchedVars:        est.LastTouchedVars,
+			LastRebuiltVars:        est.LastRebuiltVars,
+			LastNewVars:            est.LastNewVars,
+			LastBuildMS:            est.LastBuildMS,
+			LastDecayFactor:        est.LastDecayFactor,
+			SynopsisCarried:        est.SynopsisCarried,
+			SynopsisRematerialized: est.SynopsisRematerialized,
+			SynopsisDropped:        est.SynopsisDropped,
+		}
 	}
 	s.writeJSONUncounted(w, http.StatusOK, resp)
 }
@@ -960,26 +981,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // /v1/route, /v1/topk and their batch twins; a non-nil error means a
 // 400 with the error's message.
 func checkRouteRequest(g *pathcost.Graph, req *routeRequest) (pathcost.Method, error) {
-	m, err := parseMethod(req.Method)
-	if err == nil {
-		err = checkDepart(req.Depart)
-	}
-	if err == nil {
-		err = checkVertex(g, "source", req.Source)
-	}
-	if err == nil {
-		err = checkVertex(g, "dest", req.Dest)
-	}
-	if err == nil && req.Source == req.Dest {
-		err = errors.New("source and dest must differ")
-	}
-	if err == nil && req.Budget <= 0 {
-		err = fmt.Errorf("budget %v must be > 0 seconds", req.Budget)
-	}
-	if err != nil {
-		return "", err
-	}
-	return m, nil
+	return api.CheckRoute(g, req)
 }
 
 // readRequest decodes a JSON POST body, rejecting anything else.
@@ -1064,18 +1066,4 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	s.rejected.Add(1)
 }
 
-func bucketsJSON(bs []hist.Bucket) []bucketJSON {
-	out := make([]bucketJSON, len(bs))
-	for i, b := range bs {
-		out[i] = bucketJSON{Lo: b.Lo, Hi: b.Hi, Pr: b.Pr}
-	}
-	return out
-}
-
-func edgeIDs(p graph.Path) []int64 {
-	out := make([]int64, len(p))
-	for i, e := range p {
-		out[i] = int64(e)
-	}
-	return out
-}
+func edgeIDs(p graph.Path) []int64 { return api.EdgeIDs(p) }

@@ -176,7 +176,7 @@ func TestServerSmoke(t *testing.T) {
 
 	var topk topkResponse
 	code = postJSON(t, ts.URL+"/v1/topk",
-		topkRequest{routeRequest: routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}, K: 2}, &topk)
+		topkRequest{RouteRequest: routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}, K: 2}, &topk)
 	if code != http.StatusOK {
 		t.Fatalf("topk = %d", code)
 	}
@@ -230,7 +230,7 @@ func TestServerValidation(t *testing.T) {
 		{"non-positive budget", "/v1/route",
 			routeRequest{Source: src, Dest: dst, Depart: depart}, http.StatusBadRequest},
 		{"k too small", "/v1/topk",
-			topkRequest{routeRequest: routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}, K: 0}, http.StatusBadRequest},
+			topkRequest{RouteRequest: routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}, K: 0}, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		var e errorResponse

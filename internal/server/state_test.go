@@ -1,0 +1,268 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// TestStateEndpoint drives the partial-state relay the sharded
+// coordinator runs: a first segment from a point interval, then a
+// continuation seeded with the returned (state, UI).
+func TestStateEndpoint(t *testing.T) {
+	sys := testSystem(t)
+	srv := New(sys, Config{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	if len(path) < 2 {
+		t.Fatal("need a multi-edge dense path")
+	}
+	cut := len(path) / 2
+	if cut == 0 {
+		cut = 1
+	}
+
+	var first stateResult
+	code := postJSON(t, ts.URL+"/v1/state", stateRequest{
+		Path: path[:cut], Depart: depart, UILo: depart, UIHi: depart,
+	}, &first)
+	if code != http.StatusOK {
+		t.Fatalf("first segment = %d", code)
+	}
+	if first.State == "" || !strings.HasPrefix(first.State, "pstate-v1\n") {
+		t.Fatalf("first segment state malformed: %q", first.State)
+	}
+	if first.Factors <= 0 || first.MaxRank <= 0 || first.UIHi < first.UILo {
+		t.Fatalf("first segment metadata malformed: %+v", first)
+	}
+
+	var cont stateResult
+	code = postJSON(t, ts.URL+"/v1/state", stateRequest{
+		Path: path[cut:], Depart: depart,
+		UILo: first.UILo, UIHi: first.UIHi, State: first.State,
+	}, &cont)
+	if code != http.StatusOK {
+		t.Fatalf("continuation = %d", code)
+	}
+	if cont.State == "" || cont.Factors <= 0 {
+		t.Fatalf("continuation malformed: %+v", cont)
+	}
+
+	// The batch "state" kind must answer identically to the endpoint.
+	var batch batchResponse
+	code = postJSON(t, ts.URL+"/v1/batch", api.BatchRequest{Queries: []api.BatchQuery{{
+		Kind: "state", Path: path[:cut], Depart: depart, UILo: depart, UIHi: depart,
+	}}}, &batch)
+	if code != http.StatusOK || len(batch.Results) != 1 {
+		t.Fatalf("batch state = %d (%d results)", code, len(batch.Results))
+	}
+	br := batch.Results[0]
+	if br.Status != http.StatusOK || br.State == nil {
+		t.Fatalf("batch state entry = %+v", br)
+	}
+	if br.State.State != first.State || br.State.Factors != first.Factors {
+		t.Fatalf("batch state diverged from /v1/state:\n%+v\nvs\n%+v", br.State, first)
+	}
+}
+
+func TestStateEndpointRejections(t *testing.T) {
+	sys := testSystem(t)
+	srv := New(sys, Config{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	cases := []struct {
+		name string
+		req  stateRequest
+		want string
+	}{
+		{"rd", stateRequest{Path: path, Depart: depart, Method: "rd", UILo: depart, UIHi: depart},
+			"cannot be evaluated segment by segment"},
+		{"inverted ui", stateRequest{Path: path, Depart: depart, UILo: depart + 60, UIHi: depart},
+			"inverted departure interval"},
+		{"garbage state", stateRequest{Path: path, Depart: depart, UILo: depart, UIHi: depart,
+			State: "not a pstate dump"}, "unsupported partial state"},
+		{"first not point", stateRequest{Path: path, Depart: depart, UILo: depart, UIHi: depart + 60},
+			"point interval"},
+	}
+	for _, tc := range cases {
+		var e errorResponse
+		code := postJSON(t, ts.URL+"/v1/state", tc.req, &e)
+		if code != http.StatusBadRequest && code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 4xx", tc.name, code)
+			continue
+		}
+		if !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: error %q, want substring %q", tc.name, e.Error, tc.want)
+		}
+	}
+
+	// An unknown batch kind must advertise the state kind.
+	var batch batchResponse
+	code := postJSON(t, ts.URL+"/v1/batch", api.BatchRequest{Queries: []api.BatchQuery{{
+		Kind: "nonsense",
+	}}}, &batch)
+	if code != http.StatusOK || len(batch.Results) != 1 {
+		t.Fatalf("batch = %d", code)
+	}
+	if got := batch.Results[0].Error; !strings.Contains(got, "state") {
+		t.Errorf("unknown-kind error %q does not mention the state kind", got)
+	}
+}
+
+// TestMetricsEndpoint scrapes the Prometheus handler the daemon mounts
+// on the pprof listener.
+func TestMetricsEndpoint(t *testing.T) {
+	sys := testSystem(t)
+	srv := New(sys, Config{MaxInFlight: 4})
+	apiSrv := httptest.NewServer(srv.Handler())
+	defer apiSrv.Close()
+	metrics := httptest.NewServer(srv.Metrics())
+	defer metrics.Close()
+
+	// Serve one query so the counters move.
+	path, depart := densePath(t, sys)
+	if code := postJSON(t, apiSrv.URL+"/v1/distribution",
+		distributionRequest{Path: path, Depart: depart}, nil); code != http.StatusOK {
+		t.Fatalf("distribution = %d", code)
+	}
+
+	resp, err := http.Get(metrics.URL)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"pathcost_requests_served_total 1",
+		"pathcost_requests_shed_total 0",
+		"pathcost_max_in_flight 4",
+		"pathcost_queued 0",
+		"pathcost_uptime_seconds",
+		"# TYPE pathcost_requests_served_total counter",
+		"# TYPE pathcost_max_in_flight gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	post, err := http.Post(metrics.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST /metrics: %v", err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestLoadShedding saturates the evaluation gate and its waiter queue,
+// then checks the next request is answered 429 + Retry-After instead
+// of queuing behind them.
+func TestLoadShedding(t *testing.T) {
+	sys := testSystem(t)
+	srv := New(sys, Config{MaxInFlight: 1, MaxQueue: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The waiter is a route query: routing always takes an evaluation
+	// slot directly, where a distribution query on the shared test
+	// system could be answered from its query cache without queuing.
+	src, dst, budget := routePair(t, sys)
+	req := routeRequest{Source: src, Dest: dst, Depart: 8 * 3600, Budget: budget}
+
+	// Occupy the only evaluation slot directly, then park one request
+	// as the queue's only permitted waiter.
+	srv.sem <- struct{}{}
+	waiter := make(chan int, 1)
+	go func() {
+		waiter <- postJSON(t, ts.URL+"/v1/route", req, nil)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request queued behind the held slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: this request must be shed.
+	hr, err := http.Post(ts.URL+"/v1/distribution", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("shed request: %v", err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded server answered %d, want 429", hr.StatusCode)
+	}
+	if hr.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", hr.Header.Get("Retry-After"))
+	}
+
+	// Release the slot: the parked waiter must still complete normally —
+	// shedding rejects new arrivals, never queued ones.
+	<-srv.sem
+	if code := <-waiter; code != http.StatusOK {
+		t.Fatalf("queued request = %d after slot release, want 200", code)
+	}
+	if got := srv.shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Shed != 1 || stats.MaxQueue != 1 {
+		t.Fatalf("stats shed=%d max_queue=%d, want 1/1", stats.Shed, stats.MaxQueue)
+	}
+}
+
+// TestStatsIngestGating: a query-only server must not advertise the
+// ingest/epoch lifecycle it refuses to feed (regression: these blocks
+// used to leak into /v1/stats with -ingest off).
+func TestStatsIngestGating(t *testing.T) {
+	sys := testSystem(t)
+
+	off := httptest.NewServer(New(sys, Config{}).Handler())
+	defer off.Close()
+	var stats statsResponse
+	if code := getJSON(t, off.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Ingest != nil || stats.Epoch != nil {
+		t.Fatalf("ingest-off stats advertise the update pipeline: ingest=%+v epoch=%+v",
+			stats.Ingest, stats.Epoch)
+	}
+
+	on := httptest.NewServer(New(sys, Config{EnableIngest: true}).Handler())
+	defer on.Close()
+	var stats2 statsResponse
+	if code := getJSON(t, on.URL+"/v1/stats", &stats2); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats2.Ingest == nil || stats2.Epoch == nil {
+		t.Fatalf("ingest-on stats omit the update pipeline: ingest=%+v epoch=%+v",
+			stats2.Ingest, stats2.Epoch)
+	}
+}

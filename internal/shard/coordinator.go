@@ -1,0 +1,561 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pathcost "repro"
+	"repro/internal/api"
+	"repro/internal/server"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Shards lists the shard base URLs, indexed by region: Shards[r]
+	// serves region r of the partition. Length must equal Partition.K.
+	Shards []string
+	// MaxInFlight caps concurrently composed client requests (0 =
+	// server.DefaultMaxInFlight). One slot covers a request's whole
+	// composition, however many shard calls it fans out to — the
+	// coordinator's own work is I/O, not evaluation.
+	MaxInFlight int
+	// MaxQueue, when > 0, sheds: a request arriving with MaxQueue
+	// waiters already queued is answered 429 + Retry-After.
+	MaxQueue int
+	// MaxPathEdges caps distribution path cardinality (0 = 256).
+	MaxPathEdges int
+	// MaxBatch caps /v1/batch entries (0 = 64).
+	MaxBatch int
+	// Timeout bounds each shard call leg (0 = 10s).
+	Timeout time.Duration
+	// HedgeAfter starts a second, racing leg against a shard that has
+	// not answered yet (0 = 150ms). A leg that fails outright — dead
+	// socket, garbage response — triggers the retry immediately,
+	// without waiting for the timer.
+	HedgeAfter time.Duration
+	// ProbeInterval spaces /healthz probes per shard (0 = 2s,
+	// negative disables probing). Probes are advisory: they feed
+	// /v1/stats and /metrics, but every query call is still attempted
+	// against its shard, so a recovered shard serves again on the
+	// next request with no unfencing step.
+	ProbeInterval time.Duration
+	// Transport overrides the HTTP transport (tests inject failures
+	// here). nil means http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// shardState is one shard's connection bookkeeping.
+type shardState struct {
+	region        int
+	base          string
+	healthy       atomic.Bool
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	calls         atomic.Uint64
+	callFailures  atomic.Uint64
+}
+
+// Coordinator serves the single-process HTTP API over a fleet of
+// shards. Distribution queries whose path crosses region cuts are
+// decomposed into per-region segments, evaluated shard by shard
+// through the partial-state protocol (batch entries of kind "state"),
+// and composed into the final distribution coordinator-side; every
+// other query is proxied whole to the shard owning it. Create with
+// New, mount via Handler.
+type Coordinator struct {
+	cfg    Config
+	g      *pathcost.Graph
+	part   *Partition
+	mux    *http.ServeMux
+	client *http.Client
+	shards []*shardState
+	sem    chan struct{}
+	start  time.Time
+
+	served    atomic.Uint64
+	rejected  atomic.Uint64
+	abandoned atomic.Uint64
+	shed      atomic.Uint64
+	hedges    atomic.Uint64
+	queued    atomic.Int64
+}
+
+// New builds a Coordinator over g's partition.
+func New(g *pathcost.Graph, part *Partition, cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) != part.K {
+		return nil, fmt.Errorf("shard: partition has %d regions but %d shard addresses were given",
+			part.K, len(cfg.Shards))
+	}
+	if len(part.Vertex) != g.NumVertices() {
+		return nil, fmt.Errorf("shard: partition is for %d vertices, network has %d",
+			len(part.Vertex), g.NumVertices())
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = server.DefaultMaxInFlight
+	}
+	if cfg.MaxPathEdges <= 0 {
+		cfg.MaxPathEdges = 256
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = 150 * time.Millisecond
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		g:      g,
+		part:   part,
+		mux:    http.NewServeMux(),
+		client: &http.Client{Transport: cfg.Transport},
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		start:  time.Now(),
+	}
+	for r, base := range cfg.Shards {
+		ss := &shardState{region: r, base: strings.TrimRight(base, "/")}
+		ss.healthy.Store(true) // assume up until a probe or call says otherwise
+		c.shards = append(c.shards, ss)
+	}
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	c.mux.HandleFunc("/v1/distribution", c.handleDistribution)
+	c.mux.HandleFunc("/v1/route", c.handleRoute)
+	c.mux.HandleFunc("/v1/topk", c.handleTopK)
+	c.mux.HandleFunc("/v1/batch", c.handleBatch)
+	c.mux.HandleFunc("/v1/stats", c.handleStats)
+	return c, nil
+}
+
+// Handler returns the HTTP handler tree (also usable with httptest).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Run serves on addr until ctx is cancelled, with the same drain
+// contract as the single-process server.
+func (c *Coordinator) Run(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.RunListener(ctx, ln, drain)
+}
+
+// RunListener is Run over an already-bound listener; it also starts
+// the per-shard health probers, which live exactly as long as serving
+// does.
+func (c *Coordinator) RunListener(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if c.cfg.ProbeInterval > 0 {
+		for _, ss := range c.shards {
+			go c.probeLoop(pctx, ss)
+		}
+	}
+	return server.ServeListener(ctx, c.mux, ln, drain)
+}
+
+// probeLoop polls one shard's /healthz. The verdict is advisory
+// visibility, not a circuit breaker: calls keep flowing to an
+// unhealthy shard (each protected by its own hedged retry), which is
+// what makes recovery automatic.
+func (c *Coordinator) probeLoop(ctx context.Context, ss *shardState) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		c.probeOnce(ctx, ss)
+	}
+}
+
+func (c *Coordinator) probeOnce(ctx context.Context, ss *shardState) {
+	ss.probes.Add(1)
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, ss.base+"/healthz", nil)
+	if err == nil {
+		var resp *http.Response
+		resp, err = c.client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("healthz answered %d", resp.StatusCode)
+			}
+		}
+	}
+	cancel()
+	if err != nil {
+		ss.probeFailures.Add(1)
+		ss.healthy.Store(false)
+		return
+	}
+	ss.healthy.Store(true)
+}
+
+// --- admission ---------------------------------------------------------
+
+func (c *Coordinator) acquire(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		c.abandoned.Add(1)
+		return false
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	default:
+	}
+	c.queued.Add(1)
+	defer c.queued.Add(-1)
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		c.abandoned.Add(1)
+		return false
+	}
+}
+
+func (c *Coordinator) release() { <-c.sem }
+
+func (c *Coordinator) shedIfOverloaded(w http.ResponseWriter) bool {
+	if c.cfg.MaxQueue <= 0 || c.queued.Load() < int64(c.cfg.MaxQueue) {
+		return false
+	}
+	c.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	c.writeError(w, http.StatusTooManyRequests, "coordinator overloaded, retry later")
+	return true
+}
+
+// --- query composition -------------------------------------------------
+
+// pendingQuery tracks one batch entry through the wave engine.
+type pendingQuery struct {
+	q    api.BatchQuery
+	kind string
+	// segs is the region decomposition (state-relay entries only).
+	segs   []Segment
+	method pathcost.Method
+	// relay progress
+	seg     int
+	state   string
+	uiLo    float64
+	uiHi    float64
+	factors int
+	maxRank int
+	// outcome
+	done bool
+	res  api.BatchResult
+}
+
+func (p *pendingQuery) fail(status int, msg string) {
+	p.done = true
+	p.res = api.BatchResult{Kind: p.kind, Status: status, Error: msg}
+}
+
+// process runs a set of batch entries to completion: proxy entries go
+// to their owning shard in the first wave; cross-region distribution
+// entries relay partial states across as many waves as they have
+// segments. Within a wave, all of a shard's sub-queries travel in ONE
+// /v1/batch call, and distinct shards are called concurrently — the
+// wall-clock cost of a wave is the slowest shard, not the sum.
+func (c *Coordinator) process(ctx context.Context, queries []api.BatchQuery) []api.BatchResult {
+	pend := make([]*pendingQuery, len(queries))
+	for i := range queries {
+		pend[i] = c.classify(&queries[i])
+	}
+	firstWave := true
+	for {
+		// Gather this wave's shard calls.
+		perShard := map[int][]*pendingQuery{}
+		for _, p := range pend {
+			if p.done {
+				continue
+			}
+			var region int
+			switch p.kind {
+			case "route", "topk", "distribution":
+				if !firstWave {
+					continue // proxied in wave 0; result already applied
+				}
+				if len(p.segs) > 0 { // single-segment distribution proxy
+					region = p.segs[0].Region
+				} else {
+					region = c.part.Vertex[p.q.Source]
+				}
+			case "state":
+				region = p.segs[p.seg].Region
+			}
+			perShard[region] = append(perShard[region], p)
+		}
+		if len(perShard) == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		for region, ps := range perShard {
+			wg.Add(1)
+			go func(region int, ps []*pendingQuery) {
+				defer wg.Done()
+				c.runWave(ctx, region, ps)
+			}(region, ps)
+		}
+		wg.Wait()
+		firstWave = false
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	out := make([]api.BatchResult, len(pend))
+	for i, p := range pend {
+		out[i] = p.res
+	}
+	return out
+}
+
+// classify validates one entry and decides how it travels.
+func (c *Coordinator) classify(q *api.BatchQuery) *pendingQuery {
+	kind := strings.ToLower(strings.TrimSpace(q.Kind))
+	if kind == "" {
+		kind = "distribution"
+	}
+	p := &pendingQuery{q: *q, kind: kind}
+	switch kind {
+	case "route", "topk":
+		if _, err := api.CheckRoute(c.g, &api.RouteRequest{
+			Source: q.Source, Dest: q.Dest, Depart: q.Depart, Budget: q.Budget, Method: q.Method,
+		}); err != nil {
+			p.fail(http.StatusBadRequest, err.Error())
+		}
+	case "distribution":
+		m, err := api.ParseMethod(q.Method)
+		if err == nil {
+			err = api.CheckDepart(q.Depart)
+		}
+		if err == nil && q.Budget < 0 {
+			err = fmt.Errorf("budget %v must be ≥ 0 seconds (0 or omitted skips prob_within)", q.Budget)
+		}
+		var path pathcost.Path
+		if err == nil {
+			path, err = api.ParsePath(c.g, q.Path, c.cfg.MaxPathEdges)
+		}
+		if err != nil {
+			p.fail(http.StatusBadRequest, err.Error())
+			return p
+		}
+		p.method = m
+		p.segs = c.part.SegmentPath(c.g, path)
+		if len(p.segs) > 1 {
+			if m == pathcost.RD {
+				p.fail(http.StatusUnprocessableEntity,
+					"method RD draws one random decomposition over the whole query; it cannot be composed across shards")
+				return p
+			}
+			p.kind = "state"
+			p.uiLo, p.uiHi = q.Depart, q.Depart
+		}
+	case "state":
+		// The partial-state protocol is shard-internal; accepting it
+		// here would let clients smuggle states past the composition
+		// invariants.
+		p.fail(http.StatusBadRequest, `kind "state" is internal to the sharded tier (want distribution, route or topk)`)
+	default:
+		p.fail(http.StatusBadRequest,
+			fmt.Sprintf("unknown kind %q (want distribution, route or topk)", q.Kind))
+	}
+	return p
+}
+
+// runWave sends one shard its share of a wave and applies the results.
+func (c *Coordinator) runWave(ctx context.Context, region int, ps []*pendingQuery) {
+	breq := &api.BatchRequest{Queries: make([]api.BatchQuery, len(ps))}
+	for i, p := range ps {
+		if p.kind == "state" {
+			seg := p.segs[p.seg]
+			breq.Queries[i] = api.BatchQuery{
+				Kind:   "state",
+				Path:   api.EdgeIDs(seg.Path),
+				Depart: p.q.Depart,
+				Method: string(p.method),
+				UILo:   p.uiLo,
+				UIHi:   p.uiHi,
+				State:  p.state,
+			}
+		} else {
+			breq.Queries[i] = p.q
+		}
+	}
+	bresp, err := c.shardBatch(ctx, c.shards[region], breq)
+	if err != nil {
+		// This shard is down for this wave; its entries fail 503, and
+		// nothing else does — sibling shards' waves proceed untouched.
+		for _, p := range ps {
+			p.fail(http.StatusServiceUnavailable,
+				fmt.Sprintf("shard %d unavailable: %v", region, err))
+		}
+		return
+	}
+	for i, p := range ps {
+		c.applyResult(p, &bresp.Results[i], region)
+	}
+}
+
+// applyResult folds one shard answer into its pending entry.
+func (c *Coordinator) applyResult(p *pendingQuery, res *api.BatchResult, region int) {
+	if p.kind != "state" {
+		p.done = true
+		p.res = *res
+		return
+	}
+	if res.Status != http.StatusOK {
+		p.done = true
+		p.res = api.BatchResult{Kind: "distribution", Status: res.Status, Error: res.Error}
+		return
+	}
+	if res.State == nil {
+		p.fail(http.StatusBadGateway, fmt.Sprintf("shard %d answered a state entry without a state", region))
+		return
+	}
+	p.state = res.State.State
+	p.uiLo, p.uiHi = res.State.UILo, res.State.UIHi
+	p.factors += res.State.Factors
+	if res.State.MaxRank > p.maxRank {
+		p.maxRank = res.State.MaxRank
+	}
+	p.seg++
+	if p.seg < len(p.segs) {
+		return
+	}
+	// Last segment answered: compose the final distribution exactly as
+	// Evaluate's tail does — flatten the accumulator-only state to
+	// MaxResultBuckets — and shape it through the same payload builder
+	// the single-process server uses.
+	cs, err := pathcost.DecodeChainState([]byte(p.state), len(p.segs[len(p.segs)-1].Path))
+	if err == nil && !cs.AccOnly() {
+		err = errors.New("state has open dimensions")
+	}
+	var dist *pathcost.Histogram
+	if err == nil {
+		dist, err = cs.Finalize(c.part.Params.MaxResultBuckets)
+	}
+	if err != nil {
+		p.fail(http.StatusBadGateway, fmt.Sprintf("shard %d returned an invalid final state: %v", region, err))
+		return
+	}
+	p.done = true
+	p.res = api.BatchResult{
+		Kind:   "distribution",
+		Status: http.StatusOK,
+		Distribution: api.DistributionPayload(string(p.method),
+			c.part.Params.IntervalOf(p.q.Depart), dist, p.q.Budget,
+			p.factors, p.maxRank, 0),
+	}
+}
+
+// shardBatch posts one batch to one shard with hedged retry: a second
+// leg races the first when it is slow (HedgeAfter) or starts the
+// moment the first fails; the first decodable answer wins. Legs are
+// whole-call attempts — connect, send, read, decode — so a shard that
+// answers garbage counts as failed just like one that answers nothing.
+func (c *Coordinator) shardBatch(ctx context.Context, ss *shardState, breq *api.BatchRequest) (*api.BatchResponse, error) {
+	ss.calls.Add(1)
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return nil, err
+	}
+	type legResult struct {
+		resp *api.BatchResponse
+		err  error
+	}
+	leg := func() legResult {
+		lctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(lctx, http.MethodPost, ss.base+"/v1/batch", bytes.NewReader(body))
+		if err != nil {
+			return legResult{err: err}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		hresp, err := c.client.Do(req)
+		if err != nil {
+			return legResult{err: err}
+		}
+		defer hresp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+		if err != nil {
+			return legResult{err: err}
+		}
+		if hresp.StatusCode != http.StatusOK {
+			return legResult{err: fmt.Errorf("shard answered %d: %s", hresp.StatusCode, firstLine(raw))}
+		}
+		var bresp api.BatchResponse
+		if err := json.Unmarshal(raw, &bresp); err != nil {
+			return legResult{err: fmt.Errorf("undecodable shard response: %v", err)}
+		}
+		if len(bresp.Results) != len(breq.Queries) {
+			return legResult{err: fmt.Errorf("shard answered %d results for %d queries", len(bresp.Results), len(breq.Queries))}
+		}
+		return legResult{resp: &bresp}
+	}
+	ch := make(chan legResult, 2)
+	launch := func() { go func() { ch <- leg() }() }
+	launch()
+	outstanding := 1
+	hedged := false
+	hedge := func() {
+		if !hedged {
+			hedged = true
+			outstanding++
+			c.hedges.Add(1)
+			launch()
+		}
+	}
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case lr := <-ch:
+			outstanding--
+			if lr.err == nil {
+				ss.healthy.Store(true)
+				return lr.resp, nil
+			}
+			lastErr = lr.err
+			hedge() // a failed first leg retries immediately
+		case <-timer.C:
+			hedge() // a slow first leg races a second
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	ss.callFailures.Add(1)
+	ss.healthy.Store(false)
+	return nil, lastErr
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

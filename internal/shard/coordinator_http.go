@@ -1,0 +1,291 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// --- request plumbing --------------------------------------------------
+
+func (c *Coordinator) readRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		c.writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		c.writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, code int, v any) {
+	c.writeJSONUncounted(w, code, v)
+	c.served.Add(1)
+}
+
+func (c *Coordinator) writeJSONUncounted(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(api.Error{Error: msg})
+	c.rejected.Add(1)
+}
+
+// writeEntryOutcome writes a single-query handler's composed result:
+// the payload on 200, the error envelope otherwise. An entry never
+// carries status 0; a vanished client just makes the write a no-op at
+// the socket.
+func (c *Coordinator) writeEntryOutcome(w http.ResponseWriter, res *api.BatchResult, payload any) {
+	if res.Status == http.StatusOK {
+		c.writeJSON(w, http.StatusOK, payload)
+		return
+	}
+	c.writeError(w, res.Status, res.Error)
+}
+
+// processOne runs a single entry through the wave engine under one
+// admission slot.
+func (c *Coordinator) processOne(ctx context.Context, q api.BatchQuery) (api.BatchResult, bool) {
+	if !c.acquire(ctx) {
+		return api.BatchResult{}, false
+	}
+	defer c.release()
+	res := c.process(ctx, []api.BatchQuery{q})
+	return res[0], true
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	c.writeJSONUncounted(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleDistribution(w http.ResponseWriter, r *http.Request) {
+	if c.shedIfOverloaded(w) {
+		return
+	}
+	var req api.DistributionRequest
+	if !c.readRequest(w, r, &req) {
+		return
+	}
+	res, ok := c.processOne(r.Context(), api.BatchQuery{
+		Kind: "distribution", Path: req.Path, Depart: req.Depart,
+		Method: req.Method, Budget: req.Budget,
+	})
+	if !ok {
+		return
+	}
+	c.writeEntryOutcome(w, &res, res.Distribution)
+}
+
+func (c *Coordinator) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if c.shedIfOverloaded(w) {
+		return
+	}
+	var req api.RouteRequest
+	if !c.readRequest(w, r, &req) {
+		return
+	}
+	res, ok := c.processOne(r.Context(), api.BatchQuery{
+		Kind: "route", Source: req.Source, Dest: req.Dest,
+		Depart: req.Depart, Budget: req.Budget, Method: req.Method,
+	})
+	if !ok {
+		return
+	}
+	c.writeEntryOutcome(w, &res, res.Route)
+}
+
+func (c *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if c.shedIfOverloaded(w) {
+		return
+	}
+	var req api.TopKRequest
+	if !c.readRequest(w, r, &req) {
+		return
+	}
+	res, ok := c.processOne(r.Context(), api.BatchQuery{
+		Kind: "topk", Source: req.Source, Dest: req.Dest,
+		Depart: req.Depart, Budget: req.Budget, Method: req.Method, K: req.K,
+	})
+	if !ok {
+		return
+	}
+	c.writeEntryOutcome(w, &res, res.TopK)
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if c.shedIfOverloaded(w) {
+		return
+	}
+	var req api.BatchRequest
+	if !c.readRequest(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		c.writeError(w, http.StatusBadRequest, "batch must contain at least one query")
+		return
+	}
+	if len(req.Queries) > c.cfg.MaxBatch {
+		c.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d queries, cap is %d", len(req.Queries), c.cfg.MaxBatch))
+		return
+	}
+	ctx := r.Context()
+	if !c.acquire(ctx) {
+		return
+	}
+	results := func() []api.BatchResult {
+		defer c.release()
+		return c.process(ctx, req.Queries)
+	}()
+	if ctx.Err() != nil {
+		return
+	}
+	c.writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
+}
+
+// --- stats -------------------------------------------------------------
+
+// coordShardStatus is one shard's health as the coordinator sees it.
+type coordShardStatus struct {
+	Region        int    `json:"region"`
+	Base          string `json:"base"`
+	Healthy       bool   `json:"healthy"`
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	Calls         uint64 `json:"calls"`
+	CallFailures  uint64 `json:"call_failures"`
+	// Epoch is the shard's served model epoch, fetched live from its
+	// /v1/stats; absent when the shard is unreachable or runs with
+	// ingestion off.
+	Epoch *uint64 `json:"epoch,omitempty"`
+}
+
+type coordStatsResponse struct {
+	K           int                `json:"k"`
+	Shards      []coordShardStatus `json:"shards"`
+	UptimeS     float64            `json:"uptime_s"`
+	Served      uint64             `json:"served"`
+	Rejected    uint64             `json:"rejected"`
+	Abandoned   uint64             `json:"abandoned"`
+	Shed        uint64             `json:"shed"`
+	Hedges      uint64             `json:"hedges"`
+	MaxInFlight int                `json:"max_in_flight"`
+	MaxQueue    int                `json:"max_queue,omitempty"`
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := coordStatsResponse{
+		K:           c.part.K,
+		UptimeS:     time.Since(c.start).Seconds(),
+		Served:      c.served.Load(),
+		Rejected:    c.rejected.Load(),
+		Abandoned:   c.abandoned.Load(),
+		Shed:        c.shed.Load(),
+		Hedges:      c.hedges.Load(),
+		MaxInFlight: c.cfg.MaxInFlight,
+		MaxQueue:    c.cfg.MaxQueue,
+	}
+	for _, ss := range c.shards {
+		st := coordShardStatus{
+			Region:        ss.region,
+			Base:          ss.base,
+			Healthy:       ss.healthy.Load(),
+			Probes:        ss.probes.Load(),
+			ProbeFailures: ss.probeFailures.Load(),
+			Calls:         ss.calls.Load(),
+			CallFailures:  ss.callFailures.Load(),
+		}
+		st.Epoch = c.fetchEpoch(r.Context(), ss)
+		resp.Shards = append(resp.Shards, st)
+	}
+	c.writeJSONUncounted(w, http.StatusOK, resp)
+}
+
+// fetchEpoch asks one shard's /v1/stats for its epoch sequence; nil
+// when the shard is down or serves without an epoch block.
+func (c *Coordinator) fetchEpoch(ctx context.Context, ss *shardState) *uint64 {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, ss.base+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	hresp, err := c.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Epoch *struct {
+			Seq uint64 `json:"seq"`
+		} `json:"epoch"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&body); err != nil || body.Epoch == nil {
+		return nil
+	}
+	return &body.Epoch.Seq
+}
+
+// --- metrics -----------------------------------------------------------
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("pathcost_coordinator_requests_served_total", "Requests answered 2xx.", c.served.Load())
+	counter("pathcost_coordinator_requests_rejected_total", "Requests answered 4xx/5xx.", c.rejected.Load())
+	counter("pathcost_coordinator_requests_abandoned_total", "Clients gone before composition started.", c.abandoned.Load())
+	counter("pathcost_coordinator_requests_shed_total", "Requests answered 429 by the MaxQueue load shedder.", c.shed.Load())
+	counter("pathcost_coordinator_hedges_total", "Second legs launched against slow or failed shard calls.", c.hedges.Load())
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_uptime_seconds Seconds since the coordinator started.\n"+
+		"# TYPE pathcost_coordinator_uptime_seconds gauge\npathcost_coordinator_uptime_seconds %g\n",
+		time.Since(c.start).Seconds())
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_shard_healthy Last known shard health (1 healthy, 0 not).\n"+
+		"# TYPE pathcost_coordinator_shard_healthy gauge\n")
+	for _, ss := range c.shards {
+		v := 0
+		if ss.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(&b, "pathcost_coordinator_shard_healthy{region=%q} %d\n", fmt.Sprint(ss.region), v)
+	}
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_shard_calls_total Batch calls per shard.\n"+
+		"# TYPE pathcost_coordinator_shard_calls_total counter\n")
+	for _, ss := range c.shards {
+		fmt.Fprintf(&b, "pathcost_coordinator_shard_calls_total{region=%q} %d\n", fmt.Sprint(ss.region), ss.calls.Load())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// faultTransport injects failures per shard host: "kill" refuses the
+// connection, "hang" blocks until the request context dies, "garbage"
+// answers 200 with an undecodable body. "hang-once"/"kill-once" fault
+// only the first call to the host, so the hedged second leg succeeds.
+type faultTransport struct {
+	mu    sync.Mutex
+	modes map[string]string // host -> mode
+	hits  map[string]int
+}
+
+func newFaultTransport() *faultTransport {
+	return &faultTransport{modes: map[string]string{}, hits: map[string]int{}}
+}
+
+func (ft *faultTransport) set(u, mode string) {
+	pu, err := url.Parse(u)
+	if err != nil {
+		panic(err)
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if mode == "" {
+		delete(ft.modes, pu.Host)
+		delete(ft.hits, pu.Host)
+		return
+	}
+	ft.modes[pu.Host] = mode
+	ft.hits[pu.Host] = 0
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ft.mu.Lock()
+	mode := ft.modes[req.URL.Host]
+	ft.hits[req.URL.Host]++
+	first := ft.hits[req.URL.Host] == 1
+	ft.mu.Unlock()
+	switch {
+	case mode == "kill" || (mode == "kill-once" && first):
+		return nil, fmt.Errorf("dial tcp %s: connection refused (injected)", req.URL.Host)
+	case mode == "hang" || (mode == "hang-once" && first):
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case mode == "garbage":
+		return &http.Response{
+			Status:     "200 OK",
+			StatusCode: http.StatusOK,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/html"}},
+			Body:    io.NopCloser(strings.NewReader("<html>not json</html>")),
+			Request: req,
+		}, nil
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// faultFleet boots a 3-way fleet with an injectable transport and fast
+// hedge/timeout settings.
+func faultFleet(t *testing.T) (*fleet, *faultTransport) {
+	t.Helper()
+	ft := newFaultTransport()
+	f := startFleet(t, 3, func(cfg *Config) {
+		cfg.Transport = ft
+		cfg.HedgeAfter = 25 * time.Millisecond
+		cfg.Timeout = 2 * time.Second
+	})
+	return f, ft
+}
+
+// regionQueries builds one single-region distribution query per region
+// that has a usable path, returning the batch and each entry's region.
+func regionQueries(t *testing.T, f *fleet) ([]api.BatchQuery, []int) {
+	t.Helper()
+	sys := testSystem(t)
+	byRegion := map[int][]int64{}
+	for _, p := range queryPaths(t, sys, 300, 31) {
+		segs := f.part.SegmentPath(sys.Graph, p)
+		if len(segs) == 1 {
+			if _, ok := byRegion[segs[0].Region]; !ok {
+				byRegion[segs[0].Region] = edgeIDs(p)
+			}
+		}
+	}
+	if len(byRegion) < 2 {
+		t.Fatalf("only %d regions have single-region paths", len(byRegion))
+	}
+	var queries []api.BatchQuery
+	var regions []int
+	for r := 0; r < f.part.K; r++ {
+		path, ok := byRegion[r]
+		if !ok {
+			continue
+		}
+		queries = append(queries, api.BatchQuery{Kind: "distribution", Path: path, Depart: 8 * 3600})
+		regions = append(regions, r)
+	}
+	return queries, regions
+}
+
+func postBatch(t *testing.T, url string, queries []api.BatchQuery) []api.BatchResult {
+	t.Helper()
+	code, body := postRaw(t, url+"/v1/batch", api.BatchRequest{Queries: queries})
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", code, body)
+	}
+	var resp api.BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding batch: %v", err)
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(resp.Results), len(queries))
+	}
+	return resp.Results
+}
+
+// TestFaultIsolationAndRecovery kills, hangs, and garbles one shard
+// mid-batch: its entries must fail 503 without poisoning siblings, and
+// clearing the fault must restore full service with no unfencing step.
+func TestFaultIsolationAndRecovery(t *testing.T) {
+	f, ft := faultFleet(t)
+	queries, regions := regionQueries(t, f)
+	victim := regions[len(regions)-1]
+
+	for _, mode := range []string{"kill", "garbage", "hang"} {
+		t.Run(mode, func(t *testing.T) {
+			ft.set(f.shardTS[victim].URL, mode)
+			defer ft.set(f.shardTS[victim].URL, "")
+			// The hang case takes ~Timeout (2s): both legs must sit out
+			// their whole per-leg deadline before the entry can fail.
+			results := postBatch(t, f.coordTS.URL, queries)
+			for i, res := range results {
+				if regions[i] == victim {
+					if res.Status != http.StatusServiceUnavailable {
+						t.Errorf("victim entry %d = %d (%s), want 503", i, res.Status, res.Error)
+					}
+					if !strings.Contains(res.Error, fmt.Sprintf("shard %d unavailable", victim)) {
+						t.Errorf("victim entry error %q does not name the shard", res.Error)
+					}
+				} else if res.Status != http.StatusOK {
+					t.Errorf("sibling entry %d (region %d) poisoned: %d (%s)",
+						i, regions[i], res.Status, res.Error)
+				}
+			}
+			if f.coord.shards[victim].healthy.Load() {
+				t.Error("victim still marked healthy after failed calls")
+			}
+
+			// Recovery: the fault is cleared and the very next call serves —
+			// health marks are advisory, not a circuit breaker.
+			ft.set(f.shardTS[victim].URL, "")
+			for i, res := range postBatch(t, f.coordTS.URL, queries) {
+				if res.Status != http.StatusOK {
+					t.Errorf("post-recovery entry %d = %d (%s)", i, res.Status, res.Error)
+				}
+				_ = i
+			}
+			if !f.coord.shards[victim].healthy.Load() {
+				t.Error("victim not marked healthy again after a served call")
+			}
+		})
+	}
+}
+
+// TestHedgeRescuesSlowShard: only the first call to the shard hangs;
+// the hedged second leg must answer within the same request.
+func TestHedgeRescuesSlowShard(t *testing.T) {
+	f, ft := faultFleet(t)
+	queries, regions := regionQueries(t, f)
+	victim := regions[0]
+	before := f.coord.hedges.Load()
+
+	ft.set(f.shardTS[victim].URL, "hang-once")
+	defer ft.set(f.shardTS[victim].URL, "")
+	start := time.Now()
+	results := postBatch(t, f.coordTS.URL, queries[:1])
+	if results[0].Status != http.StatusOK {
+		t.Fatalf("hedged query = %d (%s), want 200", results[0].Status, results[0].Error)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Fatalf("hedge did not race the hung leg: took %v", elapsed)
+	}
+	if f.coord.hedges.Load() == before {
+		t.Fatal("hedge counter did not move")
+	}
+}
+
+// TestHedgeRetriesFailedLegImmediately: a dead-socket first leg must
+// trigger the retry at once, not after HedgeAfter.
+func TestHedgeRetriesFailedLegImmediately(t *testing.T) {
+	f, ft := faultFleet(t)
+	queries, regions := regionQueries(t, f)
+	victim := regions[0]
+
+	ft.set(f.shardTS[victim].URL, "kill-once")
+	defer ft.set(f.shardTS[victim].URL, "")
+	results := postBatch(t, f.coordTS.URL, queries[:1])
+	if results[0].Status != http.StatusOK {
+		t.Fatalf("retried query = %d (%s), want 200", results[0].Status, results[0].Error)
+	}
+}
+
+// TestCrossRegionQueryFailsCleanlyWhenRelayShardDies: a relayed
+// distribution whose later segment lives on a dead shard must come
+// back 503 — never a partial or wrong distribution.
+func TestCrossRegionQueryFailsCleanlyWhenRelayShardDies(t *testing.T) {
+	sys := testSystem(t)
+	f, ft := faultFleet(t)
+	p := crossRegionPath(t, f, sys)
+	segs := f.part.SegmentPath(sys.Graph, p)
+	victim := segs[len(segs)-1].Region
+
+	ft.set(f.shardTS[victim].URL, "kill")
+	defer ft.set(f.shardTS[victim].URL, "")
+	code, body := postRaw(t, f.coordTS.URL+"/v1/distribution",
+		api.DistributionRequest{Path: edgeIDs(p), Depart: 8 * 3600})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("relay with dead shard = %d (%s), want 503", code, body)
+	}
+
+	ft.set(f.shardTS[victim].URL, "")
+	code, _ = postRaw(t, f.coordTS.URL+"/v1/distribution",
+		api.DistributionRequest{Path: edgeIDs(p), Depart: 8 * 3600})
+	if code != http.StatusOK {
+		t.Fatalf("relay after recovery = %d, want 200", code)
+	}
+}

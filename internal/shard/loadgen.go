@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad: an open-loop constant-rate load test
+// against a serving tier (coordinator or single server).
+type LoadConfig struct {
+	// NewRequest builds one request per arrival. It is called from
+	// worker goroutines and must be safe for concurrent use.
+	NewRequest func() (*http.Request, error)
+	// QPS is the target arrival rate (> 0).
+	QPS float64
+	// Duration bounds the generation window (> 0); in-flight requests
+	// started inside the window are still awaited.
+	Duration time.Duration
+	// Workers bounds concurrent in-flight requests (0 = 16). An
+	// arrival finding no free worker is counted as Dropped rather than
+	// queued — open-loop load must not degrade into a closed loop
+	// measuring its own backlog.
+	Workers int
+	// Client overrides the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadResult summarizes one RunLoad window.
+type LoadResult struct {
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	DurationS   float64 `json:"duration_s"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	// Shed counts 429 answers — the serving tier's load shedder.
+	Shed int `json:"shed"`
+	// Errors counts transport failures and non-2xx, non-429 answers.
+	Errors int `json:"errors"`
+	// Dropped counts arrivals skipped because all workers were busy.
+	Dropped int     `json:"dropped"`
+	P50MS   float64 `json:"p50_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// RunLoad fires cfg.QPS requests per second for cfg.Duration and
+// reports latency quantiles and outcome counts. Latency is measured
+// per request, send to last body byte.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.NewRequest == nil {
+		return nil, fmt.Errorf("shard: loadgen needs a request builder")
+	}
+	if cfg.QPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("shard: loadgen needs qps > 0 and duration > 0, got %g qps over %v", cfg.QPS, cfg.Duration)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		res       = LoadResult{TargetQPS: cfg.QPS}
+		wg        sync.WaitGroup
+		slots     = make(chan struct{}, workers)
+	)
+	fire := func() {
+		defer wg.Done()
+		defer func() { <-slots }()
+		req, err := cfg.NewRequest()
+		if err == nil {
+			req = req.WithContext(ctx)
+		}
+		start := time.Now()
+		var status int
+		if err == nil {
+			var resp *http.Response
+			resp, err = client.Do(req)
+			if err == nil {
+				status = resp.StatusCode
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		elapsed := time.Since(start).Seconds() * 1000
+		mu.Lock()
+		defer mu.Unlock()
+		res.Sent++
+		switch {
+		case err != nil:
+			res.Errors++
+		case status == http.StatusTooManyRequests:
+			res.Shed++
+		case status >= 200 && status < 300:
+			res.OK++
+			latencies = append(latencies, elapsed)
+		default:
+			res.Errors++
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+	t0 := time.Now()
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go fire()
+			default:
+				mu.Lock()
+				res.Dropped++
+				mu.Unlock()
+			}
+		}
+	}
+	wg.Wait()
+	res.DurationS = time.Since(t0).Seconds()
+	if res.DurationS > 0 {
+		res.AchievedQPS = float64(res.Sent) / res.DurationS
+	}
+	sort.Float64s(latencies)
+	res.P50MS = quantileMS(latencies, 0.50)
+	res.P99MS = quantileMS(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		res.MaxMS = latencies[n-1]
+	}
+	if ctx.Err() != nil {
+		return &res, ctx.Err()
+	}
+	return &res, nil
+}
+
+// quantileMS reads the q-quantile from sorted latencies (nearest-rank).
+func quantileMS(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

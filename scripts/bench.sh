@@ -1,27 +1,38 @@
 #!/bin/sh
 # bench.sh — benchmark trajectory for the convolution/memo/synopsis
-# engine and the epoch-publish ingest path. Runs the root benchmarks
-# with -benchmem, parses ns/op, B/op, allocs/op (plus deltas/sec where
-# a benchmark reports it), and writes them as JSON (default:
-# BENCH_7.json) so perf changes land with recorded numbers instead of
-# anecdotes.
+# engine, the epoch-publish ingest path, and the sharded serving tier.
+# Runs the root benchmarks with -benchmem, parses ns/op, B/op,
+# allocs/op (plus deltas/sec where a benchmark reports it), runs the
+# loadgen selftest against an in-process 3-way sharded fleet, and
+# writes everything as JSON (default: BENCH_8.json) so perf changes
+# land with recorded numbers instead of anecdotes.
 #
 # Usage:
-#   sh scripts/bench.sh              # writes BENCH_7.json
+#   sh scripts/bench.sh              # writes BENCH_8.json
 #   sh scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=5s sh scripts/bench.sh # custom -benchtime
+#   LOADQPS=200 LOADDUR=5s sh scripts/bench.sh
 set -eu
 
-OUT=${1:-BENCH_7.json}
+OUT=${1:-BENCH_8.json}
 BENCHTIME=${BENCHTIME:-2s}
+LOADQPS=${LOADQPS:-80}
+LOADDUR=${LOADDUR:-3s}
 PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$|BenchmarkBatchIndependent$|BenchmarkBatchPlanned$|BenchmarkIngestThroughput$|BenchmarkQueryDuringIngest$'
 
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+LOADTMP=$(mktemp)
+trap 'rm -f "$TMP" "$LOADTMP"' EXIT
 
 go test -run='^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
 
-awk -v benchtime="$BENCHTIME" '
+# Load smoke: constant-rate workload against an in-process sharded
+# fleet (3 shard servers + coordinator); fails the run on any error
+# or zero served requests.
+go run ./scripts -selftest -qps "$LOADQPS" -duration "$LOADDUR" | tee "$LOADTMP"
+
+{
+    awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
 /^Benchmark/ && /ns\/op/ && /allocs\/op/ {
     name = $1
@@ -42,7 +53,11 @@ END {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}%s\n", \
             names[i], ns[i], bytes[i], allocs[i], extra, (i+1 < n) ? "," : ""
     }
-    printf "  ]\n}\n"
-}' "$TMP" > "$OUT"
+    printf "  ],\n"
+}' "$TMP"
+    printf '  "loadgen": '
+    sed 's/^/  /' "$LOADTMP" | sed '1s/^  //'
+    printf '}\n'
+} > "$OUT"
 
 echo "wrote $OUT"

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunCLISelftest runs the whole CLI in selftest mode: fleet boot,
+// load, JSON report.
+func TestRunCLISelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a fleet and runs load")
+	}
+	var out bytes.Buffer
+	if err := runCLI([]string{"-selftest", "-qps", "50", "-duration", "500ms"}, &out); err != nil {
+		t.Fatalf("runCLI: %v", err)
+	}
+	var res struct {
+		Sent   int `json:"sent"`
+		OK     int `json:"ok"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if res.Sent == 0 || res.OK == 0 || res.Errors != 0 {
+		t.Fatalf("unhealthy selftest run: %+v", res)
+	}
+}
+
+func TestRunCLIRejectsBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"no target", []string{"-qps", "10"}, "-base and -path"},
+		{"bad edge id", []string{"-base", "http://127.0.0.1:1", "-path", "1,x,3"}, "bad edge ID"},
+		{"unknown flag", []string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := runCLI(tc.argv, &out)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
