@@ -82,6 +82,31 @@ type CandidateRow struct {
 type CandidateArray struct {
 	Rows []CandidateRow
 	UIs  []TimeInterval
+
+	// Per-row overlap memo: |I_j ∩ UI_k| depends only on the interval
+	// index and the row's departure interval, but is probed once per
+	// candidate variable — many of which share intervals. ovSet uses a
+	// generation counter so clearing the memo between rows is O(1).
+	ovPr  []float64
+	ovSet []uint32
+	ovGen uint32
+
+	// Relevant-interval window of the current row: interval j can have
+	// positive overlap with UI_k only when (j − ivFirst) mod nIv ≤
+	// ivSpan. The window is conservative (it may include zero-overlap
+	// boundary intervals, which never win selection), so filtering with
+	// it changes no picks.
+	ivFirst, ivSpan, ivCount int
+}
+
+// ivRelevant reports whether interval j can overlap the current row's
+// departure interval.
+func (ca *CandidateArray) ivRelevant(j int) bool {
+	d := j - ca.ivFirst
+	if d < 0 {
+		d += ca.ivCount
+	}
+	return d <= ca.ivSpan
 }
 
 // caPool recycles candidate arrays: one is built and discarded per
@@ -140,17 +165,19 @@ func (h *HybridGraph) buildCandidateArrayFrom(p graph.Path, ui0 TimeInterval) (*
 		return nil, TimeInterval{}, fmt.Errorf("core: query %v is not a valid path", p)
 	}
 	ca := getCandidateArray(len(p))
-	// Updated departure intervals per Eq. 3, driven by the rank-1
-	// variables of the preceding edges.
+	nIv := h.Params.NumIntervals()
+	ivSec := h.Params.IntervalSeconds()
+	// One pass over the rows: the departure interval UI_k is chained
+	// per Eq. 3 (driven by the rank-1 variables of the preceding edges)
+	// and consumed by row k's relevance scan in the same iteration, so
+	// the per-row overlap memo serves both the unit-variable pick and
+	// every candidate variable of the row.
 	ui := ui0
 	for k := range p {
 		ca.UIs[k] = ui
-		unit := h.bestUnitVariable(p[k], ui)
-		ui = sae(ui, unit)
-	}
-	for k := range p {
+		ca.beginRow(nIv, ui, ivSec)
+		unit := h.bestUnitVariable(p[k], ui, ca)
 		ca.Rows[k].Edge = p[k]
-		ui := ca.UIs[k]
 		// Spatial relevance: instantiated paths starting at p[k] that
 		// are sub-paths of p aligned at position k.
 		for _, pv := range h.byStart[p[k]] {
@@ -176,7 +203,10 @@ func (h *HybridGraph) buildCandidateArrayFrom(p graph.Path, ui0 TimeInterval) (*
 			var best *Variable
 			var bestOverlap float64
 			for _, v := range pv.sorted {
-				ol := h.overlapWithInterval(v.Interval, ui)
+				if !ca.ivRelevant(v.Interval) {
+					continue // provably zero overlap; cannot win
+				}
+				ol := ca.overlapMemo(h, v.Interval, ui)
 				if ol > bestOverlap {
 					bestOverlap = ol
 					best = v
@@ -201,8 +231,61 @@ func (h *HybridGraph) buildCandidateArrayFrom(p graph.Path, ui0 TimeInterval) (*
 			ca.Rows[k].Vars = vars
 		}
 		sortByRank(ca.Rows[k].Vars)
+		ui = sae(ui, unit)
 	}
 	return ca, ui, nil
+}
+
+// beginRow readies the overlap memo and the relevant-interval window
+// for a new row (a new UI).
+func (ca *CandidateArray) beginRow(nIv int, ui TimeInterval, ivSec float64) {
+	if cap(ca.ovPr) < nIv {
+		ca.ovPr = make([]float64, nIv)
+		ca.ovSet = make([]uint32, nIv)
+		ca.ovGen = 1
+	} else {
+		ca.ovPr = ca.ovPr[:nIv]
+		ca.ovSet = ca.ovSet[:nIv]
+		ca.ovGen++
+		if ca.ovGen == 0 { // generation wrap: invalidate explicitly
+			clear(ca.ovSet)
+			ca.ovGen = 1
+		}
+	}
+	ca.ivCount = nIv
+	// The UI covers the circular arc starting at tod(ui.Lo) of length
+	// ui.Width(); only the α-intervals touching that arc can overlap.
+	// A window spanning a full day admits every interval.
+	if ui.Width() >= gps.SecondsPerDay-ivSec {
+		ca.ivFirst, ca.ivSpan = 0, nIv
+		return
+	}
+	a := gps.SecondsOfDay(ui.Lo)
+	first := int(a / ivSec)
+	span := int((a+ui.Width())/ivSec) - first
+	if first >= nIv { // tod rounding at the day boundary
+		first = nIv - 1
+	}
+	if span >= nIv {
+		span = nIv
+	}
+	ca.ivFirst, ca.ivSpan = first, span
+}
+
+// overlapMemo returns h.overlapWithInterval(iv, ui) memoized for the
+// current row. The cached value is exactly the function's result —
+// identical floats, identical selections.
+func (ca *CandidateArray) overlapMemo(h *HybridGraph, iv int, ui TimeInterval) float64 {
+	if iv < 0 || iv >= len(ca.ovPr) {
+		return h.overlapWithInterval(iv, ui)
+	}
+	if ca.ovSet[iv] == ca.ovGen {
+		return ca.ovPr[iv]
+	}
+	ol := h.overlapWithInterval(iv, ui)
+	ca.ovPr[iv] = ol
+	ca.ovSet[iv] = ca.ovGen
+	return ol
 }
 
 func sortByRank(vs []*Variable) {
@@ -214,16 +297,29 @@ func sortByRank(vs []*Variable) {
 }
 
 // bestUnitVariable picks the rank-1 variable of edge e whose interval
-// overlaps ui the most, falling back to the speed-limit variable.
-func (h *HybridGraph) bestUnitVariable(e graph.EdgeID, ui TimeInterval) *Variable {
-	pv, ok := h.unit[e]
+// overlaps ui the most, falling back to the speed-limit variable. ca
+// (optional) supplies the row-scoped overlap memo.
+func (h *HybridGraph) bestUnitVariable(e graph.EdgeID, ui TimeInterval, ca *CandidateArray) *Variable {
+	var pv *pathVars
+	if int(e) >= 0 && int(e) < len(h.unit) {
+		pv = h.unit[e]
+	}
+	ok := pv != nil
 	if ok {
 		// Sorted iteration: overlap ties resolve to the earliest
 		// interval, deterministically (see BuildCandidateArray).
 		var best *Variable
 		var bestOverlap float64
 		for _, v := range pv.sorted {
-			ol := h.overlapWithInterval(v.Interval, ui)
+			var ol float64
+			if ca != nil {
+				if !ca.ivRelevant(v.Interval) {
+					continue // provably zero overlap; cannot win
+				}
+				ol = ca.overlapMemo(h, v.Interval, ui)
+			} else {
+				ol = h.overlapWithInterval(v.Interval, ui)
+			}
 			if ol > bestOverlap {
 				bestOverlap = ol
 				best = v
@@ -263,7 +359,10 @@ func (d *Decomposition) MaxRank() int {
 // means uncapped), omit paths that are sub-paths of already selected
 // ones, and return the unique coarsest decomposition (Theorem 4).
 func (ca *CandidateArray) CoarsestDecomposition(maxRank int) *Decomposition {
-	de := &Decomposition{}
+	de := &Decomposition{
+		Vars: make([]*Variable, 0, len(ca.Rows)),
+		Pos:  make([]int, 0, len(ca.Rows)),
+	}
 	covered := -1 // last query position covered so far
 	for k, row := range ca.Rows {
 		var pick *Variable

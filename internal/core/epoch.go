@@ -124,21 +124,14 @@ func (h *HybridGraph) newCOW() *cowHybrid {
 		// Fallback variables are synthesized on demand under their own
 		// mutex and never serialized; each epoch gets a fresh map so
 		// epochs never contend on it.
-		byStart:   make(map[graph.EdgeID][]*pathVars, len(h.byStart)),
+		unit:      append([]*pathVars(nil), h.unit...),
+		unitCount: h.unitCount,
+		byStart:   append([][]*pathVars(nil), h.byStart...),
 		fallbacks: make(map[graph.EdgeID]*Variable),
 		stats:     h.stats,
 	}
 	for k, v := range h.vars {
 		nh.vars[k] = v
-	}
-	if h.unit != nil {
-		nh.unit = make(map[graph.EdgeID]*pathVars, len(h.unit))
-		for k, v := range h.unit {
-			nh.unit[k] = v
-		}
-	}
-	for e, list := range h.byStart {
-		nh.byStart[e] = list
 	}
 	nh.stats.VariablesByRank = append([]int(nil), h.stats.VariablesByRank...)
 	return &cowHybrid{
@@ -175,8 +168,8 @@ func (c *cowHybrid) replace(v *Variable) bool {
 		h.byStart[start] = append(h.byStart[start], pv)
 		c.resort[start] = true
 		if len(v.Path) == 1 {
-			if h.unit == nil {
-				h.unit = make(map[graph.EdgeID]*pathVars)
+			if h.unit[start] == nil {
+				h.unitCount++
 			}
 			h.unit[start] = pv
 		}
@@ -313,7 +306,7 @@ func (h *HybridGraph) ApplyBatchExact(data *gps.Collection, batch []*gps.Matched
 	}
 	cow.finish()
 	cow.h.stats.EdgesWithData = next.NumEdgesWithData()
-	cow.h.stats.CoveredEdges = len(cow.h.unit)
+	cow.h.stats.CoveredEdges = cow.h.unitCount
 	return cow.h, next, delta, nil
 }
 
@@ -376,7 +369,7 @@ func (h *HybridGraph) ApplyBatchDecay(batch []*gps.Matched, factor float64) (*Hy
 		}
 	}
 	cow.finish()
-	cow.h.stats.CoveredEdges = len(cow.h.unit)
+	cow.h.stats.CoveredEdges = cow.h.unitCount
 	// Without a retained collection the exact |E″| is unknowable in
 	// decay mode; keep it monotone so Coverage stays ≤ 1.
 	if cow.h.stats.EdgesWithData < cow.h.stats.CoveredEdges {

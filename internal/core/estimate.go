@@ -68,16 +68,26 @@ type EvalStats struct {
 	CellsTouched  int           // hyper-bucket operations during joint computation
 	ResultBuckets int           // buckets of the final marginal (MC output)
 	MCDur         time.Duration // time spent deriving the marginal (Fig. 17's MC)
+
+	// mcStart is the instant the chain finished and marginalization
+	// began. evaluateMode records it and leaves MCDur unset; callers
+	// finalize MCDur against their own end-of-evaluation clock read,
+	// sparing the hot path one time.Now per query.
+	mcStart time.Time
 }
 
-// evalScratch pools the transient buffers of one chain step — the
-// merge-join emission, the factor group runs and the fold arena — so
-// steady-state evaluation reuses warm buffers instead of allocating
-// per multiply/fold call. Result histograms copy out of the scratch
-// before it returns to the pool; nothing pooled escapes.
+// evalScratch is the arena of one chain step: flat contiguous buffers
+// for the merge-join emission (packed keys + probabilities), the
+// pre-shifted factor keys, the factor group runs, the fold arena and
+// the fold-distribution emission log. Pooled so steady-state
+// evaluation reuses warm buffers instead of allocating per
+// multiply/fold call; the inner loops stream through these arrays
+// sequentially. Result histograms copy out of the scratch before it
+// returns to the pool; nothing pooled escapes.
 type evalScratch struct {
-	keys    []hist.CellKey
+	keys    []hist.PackedKey
 	probs   []float64
+	fs      []hist.PackedKey // factor keys pre-shifted to state dims
 	bounds  [][]float64
 	runs    []factorRun
 	folds   []cellFold
@@ -120,6 +130,31 @@ type factorRun struct {
 // set), everything else being folded into the accumulated-cost
 // dimension.
 func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histogram, EvalStats, error) {
+	out, st, err := h.evaluateMode(de, query, false)
+	st.finalizeMC()
+	return out, st, err
+}
+
+// EvaluateQuantized is Evaluate with the float32 inner-product kernel
+// (multiplyQuant) on every chain step. Structure and merge order are
+// identical to the exact evaluator; per-cell probabilities round
+// through single precision, trading a measured (tested) error bound
+// for halved multiply bandwidth. Memo, synopsis and serialization
+// paths never use it — they require the exact kernel's byte-identity.
+func (h *HybridGraph) EvaluateQuantized(de *Decomposition, query graph.Path) (*hist.Histogram, EvalStats, error) {
+	out, st, err := h.evaluateMode(de, query, true)
+	st.finalizeMC()
+	return out, st, err
+}
+
+// finalizeMC stamps MCDur from the recorded marginalization start.
+func (st *EvalStats) finalizeMC() {
+	if !st.mcStart.IsZero() {
+		st.MCDur = time.Since(st.mcStart)
+	}
+}
+
+func (h *HybridGraph) evaluateMode(de *Decomposition, query graph.Path, quant bool) (*hist.Histogram, EvalStats, error) {
 	var st EvalStats
 	if err := de.Validate(query); err != nil {
 		return nil, st, err
@@ -131,7 +166,7 @@ func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histo
 	if len(de.Vars) == 1 {
 		v := de.Vars[0]
 		var out *hist.Histogram
-		mc := time.Now()
+		st.mcStart = time.Now()
 		if v.Hist != nil {
 			out = v.Hist
 		} else {
@@ -141,16 +176,15 @@ func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histo
 				return nil, st, err
 			}
 		}
-		st.MCDur = time.Since(mc)
 		st.ResultBuckets = out.NumBuckets()
 		return out, st, nil
 	}
 
-	state, err := h.runChain(de, nil, 0, &st)
+	state, err := h.runChainSteps(de, nil, 0, &st, nil, quant)
 	if err != nil {
 		return nil, st, err
 	}
-	mc := time.Now()
+	st.mcStart = time.Now()
 	out, err := state.m.SumHistogram(h.Params.MaxResultBuckets)
 	// The chain belonged to this evaluation alone (runChain recycled
 	// every intermediate state); the final state dies here too.
@@ -158,7 +192,6 @@ func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histo
 	if err != nil {
 		return nil, st, err
 	}
-	st.MCDur = time.Since(mc)
 	st.ResultBuckets = out.NumBuckets()
 	return out, st, nil
 }
@@ -168,10 +201,10 @@ func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histo
 // folded state; intermediate states per factor are reported through
 // onStep when non-nil (used by the incremental routing estimator).
 func (h *HybridGraph) runChain(de *Decomposition, state *chainState, from int, st *EvalStats) (*chainState, error) {
-	return h.runChainSteps(de, state, from, st, nil)
+	return h.runChainSteps(de, state, from, st, nil, false)
 }
 
-func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from int, st *EvalStats, onStep func(i int, s *chainState)) (*chainState, error) {
+func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from int, st *EvalStats, onStep func(i int, s *chainState), quant bool) (*chainState, error) {
 	// When the chain starts fresh and no observer keeps references to
 	// intermediate states, every state this loop creates dies as soon
 	// as the next one exists — recycle their histograms.
@@ -184,9 +217,12 @@ func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from i
 		}
 		positions := factorPositions(de, i)
 		prev := state
-		if state == nil {
+		switch {
+		case state == nil:
 			state, err = initialState(fm, positions)
-		} else {
+		case quant:
+			state, err = state.multiplyQuant(fm, positions, st)
+		default:
 			state, err = state.multiply(fm, positions, st)
 		}
 		if err != nil {
@@ -257,15 +293,13 @@ func initialState(fm *hist.Multi, positions []int) (*chainState, error) {
 		if fProbs[i] == 0 {
 			continue
 		}
-		var nk hist.CellKey
-		for d := 0; d < dims; d++ {
-			nk[1+d] = k[d]
-		}
-		keys = append(keys, nk)
+		// Prepend the accumulator axis: dims shift up one, dim 0 = 0.
+		// The shift is order-preserving, so the cells stay sorted.
+		keys = append(keys, k.ShiftDimRight())
 		probs = append(probs, fProbs[i])
 	}
 	sc.keys, sc.probs = keys, probs
-	m, err := hist.NewMultiFromCells(bounds, keys, probs)
+	m, err := hist.NewMultiFromPackedCells(bounds, keys, probs)
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +327,20 @@ func initialState(fm *hist.Multi, positions []int) (*chainState, error) {
 // depend on sibling evaluation order, breaking the memo-on/memo-off
 // byte-identity guarantee.)
 func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*chainState, error) {
+	return s.multiplyKernel(fm, positions, st, false)
+}
+
+// multiplyQuant is multiply with the quantized float32 inner product:
+// each emitted cell's probability is computed in single precision
+// (float32 multiply + divide) and widened back. Everything structural
+// — alignment, runs, merge order, zero-dropping — is identical to the
+// exact kernel, so the only divergence is per-cell rounding; the
+// measured error bound is asserted by TestQuantizedKernelErrorBound.
+func (s *chainState) multiplyQuant(fm *hist.Multi, positions []int, st *EvalStats) (*chainState, error) {
+	return s.multiplyKernel(fm, positions, st, true)
+}
+
+func (s *chainState) multiplyKernel(fm *hist.Multi, positions []int, st *EvalStats, quant bool) (*chainState, error) {
 	overlap := s.open
 	ovIdxF := indexOf(positions, overlap)
 	if len(ovIdxF) != len(overlap) {
@@ -352,7 +400,7 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	runs := sc.runs[:0]
 	for i := 0; i < len(fKeys); {
 		j := i + 1
-		for j < len(fKeys) && samePrefix(fKeys[i], fKeys[j], nOv) {
+		for j < len(fKeys) && fKeys[i].PrefixEq(fKeys[j], nOv) {
 			j++
 		}
 		var div float64
@@ -370,6 +418,21 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	}
 	sc.runs = runs
 
+	// Pre-shift every factor key to its state position (dims move up
+	// one; dim 0 is free for the accumulator index) once, so the inner
+	// emission loop is a single masked word-merge per cell instead of a
+	// per-dimension scatter.
+	fs := sc.fs
+	if cap(fs) < len(fKeys) {
+		fs = make([]hist.PackedKey, len(fKeys))
+	} else {
+		fs = fs[:len(fKeys)]
+	}
+	for i, k := range fKeys {
+		fs[i] = k.ShiftDimRight()
+	}
+	sc.fs = fs
+
 	// Merge-join: state cells are sorted by (acc, overlap...), runs by
 	// overlap, and each emitted product key (acc, factor dims...) is
 	// strictly larger than its predecessor — the result arrays are born
@@ -378,7 +441,7 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	resProbs := sc.probs[:0]
 	for ci, sk := range sKeys {
 		spr := sProbs[ci]
-		run, ok := findRun(fKeys, runs, sk, nOv)
+		run, ok := findRun(fKeys, runs, sk.ShiftDimLeft(), nOv)
 		if !ok {
 			// The factor assigns zero probability to this overlap
 			// region; the state mass there is dropped (renormalized
@@ -388,23 +451,29 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 		if nOv > 0 && run.div <= 0 {
 			continue
 		}
-		for c := run.start; c < run.end; c++ {
-			if st != nil {
-				st.CellsTouched++
+		if st != nil {
+			st.CellsTouched += run.end - run.start
+		}
+		if quant {
+			spr32, div32 := float32(spr), float32(run.div)
+			for c := run.start; c < run.end; c++ {
+				v := float64(spr32 * float32(fProbs[c]) / div32)
+				if v == 0 {
+					continue
+				}
+				resKeys = append(resKeys, fs[c].WithDim0From(sk))
+				resProbs = append(resProbs, v)
 			}
-			v := spr * fProbs[c] / run.div
-			if v == 0 {
-				// The map-based kernel's SetCell dropped exact zeros.
-				continue
+		} else {
+			for c := run.start; c < run.end; c++ {
+				v := spr * fProbs[c] / run.div
+				if v == 0 {
+					// The map-based kernel's SetCell dropped exact zeros.
+					continue
+				}
+				resKeys = append(resKeys, fs[c].WithDim0From(sk))
+				resProbs = append(resProbs, v)
 			}
-			var nk hist.CellKey
-			nk[0] = sk[0]
-			fk := fKeys[c]
-			for d := 0; d < dims; d++ {
-				nk[1+d] = fk[d]
-			}
-			resKeys = append(resKeys, nk)
-			resProbs = append(resProbs, v)
 		}
 	}
 	sc.keys, sc.probs = resKeys, resProbs
@@ -415,7 +484,7 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	for d := 0; d < dims; d++ {
 		bounds[1+d] = fmAligned.Bounds(d)
 	}
-	res, err := hist.NewMultiFromCells(bounds, resKeys, resProbs)
+	res, err := hist.NewMultiFromPackedCells(bounds, resKeys, resProbs)
 	// The remapped alignment views die here; their buffers recycle.
 	// (res copied the cells and shares only their per-dim boundary
 	// slices, which PutMulti leaves alone.)
@@ -434,19 +503,11 @@ func (s *chainState) multiply(fm *hist.Multi, positions []int, st *EvalStats) (*
 	return &chainState{m: res, open: positions}, nil
 }
 
-// samePrefix reports whether a and b agree on their first n dims.
-func samePrefix(a, b hist.CellKey, n int) bool {
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // findRun binary-searches the factor run whose overlap prefix matches
-// the state cell's open dims (state dims 1..nOv).
-func findRun(fKeys []hist.CellKey, runs []factorRun, sk hist.CellKey, nOv int) (factorRun, bool) {
+// the state cell's open dims. skShift is the state key shifted down one
+// dimension (the accumulator dropped), so its leading nOv dims line up
+// with the factor keys' and the comparisons are masked word compares.
+func findRun(fKeys []hist.PackedKey, runs []factorRun, skShift hist.PackedKey, nOv int) (factorRun, bool) {
 	if len(runs) == 0 {
 		return factorRun{}, false
 	}
@@ -456,36 +517,16 @@ func findRun(fKeys []hist.CellKey, runs []factorRun, sk hist.CellKey, nOv int) (
 	lo, hi := 0, len(runs)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if overlapLess(fKeys[runs[mid].start], sk, nOv) {
+		if fKeys[runs[mid].start].PrefixLess(skShift, nOv) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(runs) && overlapMatches(fKeys[runs[lo].start], sk, nOv) {
+	if lo < len(runs) && fKeys[runs[lo].start].PrefixEq(skShift, nOv) {
 		return runs[lo], true
 	}
 	return factorRun{}, false
-}
-
-// overlapLess orders a factor key's leading nOv dims against a state
-// key's open dims (state dim 1+i carries overlap dim i).
-func overlapLess(fk, sk hist.CellKey, nOv int) bool {
-	for i := 0; i < nOv; i++ {
-		if fk[i] != sk[1+i] {
-			return fk[i] < sk[1+i]
-		}
-	}
-	return false
-}
-
-func overlapMatches(fk, sk hist.CellKey, nOv int) bool {
-	for i := 0; i < nOv; i++ {
-		if fk[i] != sk[1+i] {
-			return false
-		}
-	}
-	return true
 }
 
 // multiplyRef is the pre-columnar reference kernel: group maps and
@@ -686,13 +727,13 @@ func foldCellsInto(sc *evalScratch, m *hist.Multi, keepIdx []int) ([]cellFold, i
 			if keep[d] {
 				continue
 			}
-			l, u := m.BucketRange(d, int(k[d]))
+			l, u := m.BucketRange(d, int(k.Dim(d)))
 			lo += l
 			hi += u
 		}
 		base := len(arena)
 		for _, d := range keepIdx {
-			arena = append(arena, int(k[d]))
+			arena = append(arena, int(k.Dim(d)))
 		}
 		folds = append(folds, cellFold{lo: lo, hi: hi, idx: arena[base:len(arena):len(arena)], pr: probs[i]})
 	}
@@ -715,11 +756,11 @@ func assembleState(sc *evalScratch, src *hist.Multi, folds []cellFold, nKept int
 	for i, d := range keepIdx {
 		bounds[1+i] = src.Bounds(d)
 	}
-	out, err := hist.NewMultiFromCells(bounds, nil, nil)
+	keys, probs := distributeFoldsInto(sc, folds, cuts)
+	out, err := hist.NewMultiFromPackedCells(bounds, keys, probs)
 	if err != nil {
 		return nil, err
 	}
-	distributeFolds(out, folds, cuts)
 	if err := out.Normalize(); err != nil {
 		return nil, err
 	}
@@ -752,11 +793,86 @@ func accCuts(sc *evalScratch, folds []cellFold, maxAcc int) ([]float64, error) {
 	return hist.RearrangedCuts(ivals, maxAcc)
 }
 
-// distributeFolds spreads each folded cell's mass across the acc slabs
-// proportionally to overlap (uniform-within-interval, the Section 4.2
-// rule). The slab scan starts at the first slab that can overlap the
-// fold; emissions accumulate in fold order, matching the map kernel.
-func distributeFolds(out *hist.Multi, folds []cellFold, cuts []float64) {
+// distributeFoldsInto spreads each folded cell's mass across the acc
+// slabs proportionally to overlap (uniform-within-interval, the
+// Section 4.2 rule) and returns the resulting sorted cell arrays,
+// owned by the scratch.
+//
+// Accumulation happens immediately per emission — the same order as
+// the reference path's out.AddCell, so the per-cell float sums are
+// identical — but into flat local packed-key/probability arrays
+// instead of a Multi: appends and in-place accruals are word compares
+// on packed keys, the binary search on out-of-order emissions is a
+// handful of word compares, and there is no per-emission marginal
+// invalidation. Within one fold the emitted keys strictly ascend
+// (only the slab index varies), so the tail fast paths absorb most
+// emissions.
+func distributeFoldsInto(sc *evalScratch, folds []cellFold, cuts []float64) ([]hist.PackedKey, []float64) {
+	keys := sc.keys[:0]
+	probs := sc.probs[:0]
+	for _, f := range folds {
+		lo, hi := f.lo, f.hi
+		if !(hi > lo) {
+			hi = lo + 1e-9
+		}
+		w := hi - lo
+		// Kept-dim indexes are fixed per fold; only dim 0 varies.
+		var base hist.PackedKey
+		for j, v := range f.idx {
+			base = base.WithDim(1+j, uint16(v))
+		}
+		s := sort.SearchFloat64s(cuts, lo)
+		if s > 0 {
+			s--
+		}
+		for ; s+1 < len(cuts); s++ {
+			if cuts[s] >= hi {
+				break
+			}
+			ol := math.Min(cuts[s+1], hi) - math.Max(cuts[s], lo)
+			if ol <= 0 {
+				continue
+			}
+			add := f.pr * ol / w
+			if add == 0 {
+				// Matches the map kernel: Cell+SetCell with a zero delta
+				// never materialized an absent cell.
+				continue
+			}
+			key := base.WithDim(0, uint16(s))
+			n := len(keys)
+			switch {
+			case n == 0 || keys[n-1].Less(key):
+				keys = append(keys, key)
+				probs = append(probs, add)
+			case keys[n-1] == key:
+				probs[n-1] += add
+			default:
+				// Out-of-order emission: binary search, accrue or insert.
+				i := sort.Search(n, func(i int) bool { return !keys[i].Less(key) })
+				if keys[i] == key {
+					probs[i] += add
+				} else {
+					keys = append(keys, hist.PackedKey{})
+					probs = append(probs, 0)
+					copy(keys[i+1:], keys[i:])
+					copy(probs[i+1:], probs[i:])
+					keys[i] = key
+					probs[i] = add
+				}
+			}
+		}
+	}
+	sc.keys, sc.probs = keys, probs
+	return keys, probs
+}
+
+// distributeFoldsRef is the reference fold distribution — the same
+// slab walk accumulating through Multi.AddCell immediately. It is the
+// differential oracle for distributeFoldsInto (see
+// TestDistributeFoldsMatchesReference); the float sequence per cell is
+// identical by construction.
+func distributeFoldsRef(out *hist.Multi, folds []cellFold, cuts []float64) {
 	var idxArr [hist.MaxDims]int
 	idxBuf := idxArr[:out.Dims()]
 	for _, f := range folds {
@@ -779,8 +895,6 @@ func distributeFolds(out *hist.Multi, folds []cellFold, cuts []float64) {
 			}
 			add := f.pr * ol / w
 			if add == 0 {
-				// Matches the map kernel: Cell+SetCell with a zero delta
-				// never materialized an absent cell.
 				continue
 			}
 			idxBuf[0] = s

@@ -91,11 +91,16 @@ type HybridGraph struct {
 	vars map[string]*pathVars
 	// unit indexes the rank-1 rows directly by edge, sparing the
 	// per-edge path-key string the temporal-relevance scan of every
-	// query would otherwise build.
-	unit map[graph.EdgeID]*pathVars
+	// query would otherwise build. Edge identifiers are dense, so both
+	// per-edge indexes are flat slices (length G.NumEdges()) — a query
+	// touches them once per row and a slice load beats a map probe.
+	unit []*pathVars
+	// unitCount counts edges with a trajectory-backed rank-1 row
+	// (non-nil unit entries); the epoch builder reads it as |E′|.
+	unitCount int
 	// byStart lists instantiated paths by their first edge, used to
 	// build candidate arrays (Section 4.1.3). Sorted by rank.
-	byStart map[graph.EdgeID][]*pathVars
+	byStart [][]*pathVars
 	// fallbacks caches speed-limit rank-1 variables, built on demand;
 	// the mutex keeps concurrent queries safe.
 	fbMu      sync.Mutex
@@ -149,7 +154,8 @@ func Build(g *graph.Graph, data *gps.Collection, params Params) (*HybridGraph, e
 		G:         g,
 		Params:    params,
 		vars:      make(map[string]*pathVars),
-		byStart:   make(map[graph.EdgeID][]*pathVars),
+		unit:      make([]*pathVars, g.NumEdges()),
+		byStart:   make([][]*pathVars, g.NumEdges()),
 		fallbacks: make(map[graph.EdgeID]*Variable),
 	}
 	h.stats.VariablesByRank = make([]int, params.MaxRank)
@@ -410,12 +416,13 @@ func (h *HybridGraph) addVariable(v *Variable) {
 	if !ok {
 		pv = &pathVars{path: v.Path, byIv: make(map[int]*Variable)}
 		h.vars[key] = pv
-		h.byStart[v.Path[0]] = append(h.byStart[v.Path[0]], pv)
+		start := v.Path[0]
+		h.byStart[start] = append(h.byStart[start], pv)
 		if len(v.Path) == 1 {
-			if h.unit == nil {
-				h.unit = make(map[graph.EdgeID]*pathVars)
+			if h.unit[start] == nil {
+				h.unitCount++
 			}
-			h.unit[v.Path[0]] = pv
+			h.unit[start] = pv
 		}
 	}
 	pv.byIv[v.Interval] = v

@@ -166,7 +166,7 @@ func (h *HybridGraph) EvaluateSegment(syn *SynopsisStore, memo *ConvMemo, in Seg
 		// left fold BuildCandidateArray runs internally.
 		ui := in.UI
 		for _, e := range in.Path {
-			ui = sae(ui, h.bestUnitVariable(e, ui))
+			ui = sae(ui, h.bestUnitVariable(e, ui, nil))
 		}
 		return &SegmentResult{
 			State:   &ChainState{cs: st.inter[len(st.inter)-1]},
@@ -224,7 +224,8 @@ func (h *HybridGraph) FilterVariables(keep func(*Variable) bool) *HybridGraph {
 		G:         h.G,
 		Params:    h.Params,
 		vars:      make(map[string]*pathVars),
-		byStart:   make(map[graph.EdgeID][]*pathVars),
+		unit:      make([]*pathVars, h.G.NumEdges()),
+		byStart:   make([][]*pathVars, h.G.NumEdges()),
 		fallbacks: make(map[graph.EdgeID]*Variable),
 	}
 	out.stats.VariablesByRank = make([]int, len(h.stats.VariablesByRank))

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hist"
+)
+
+// Tests for the quantized float32 kernel (multiplyQuant /
+// EvaluateQuantized): it must touch exactly the cells the exact kernel
+// touches — quantization perturbs values, never support or order — and
+// its per-cell relative error must stay within the bound implied by
+// the float32 roundings it performs (three operand casts, one multiply,
+// one divide: ≲ 5·2⁻²⁴ ≈ 3·10⁻⁷ per cell for a single multiply).
+
+// quantRelBound is the asserted per-cell relative error for one
+// quantized multiply. The measured maximum across the differential
+// trials is logged so drift shows up in test output.
+const quantRelBound = 1e-6
+
+func maxQuantRelError(tb testing.TB, exact, quant *hist.Multi) float64 {
+	tb.Helper()
+	ke, pe := exact.Cells()
+	kq, pq := quant.Cells()
+	if len(ke) != len(kq) {
+		tb.Fatalf("support differs: %d cells exact, %d quantized", len(ke), len(kq))
+	}
+	var worst float64
+	for i := range ke {
+		if ke[i] != kq[i] {
+			tb.Fatalf("cell %d key differs: %v vs %v", i, ke[i].Unpack(), kq[i].Unpack())
+		}
+		if pe[i] == 0 {
+			if pq[i] != 0 {
+				tb.Fatalf("cell %d: exact 0, quantized %g", i, pq[i])
+			}
+			continue
+		}
+		if rel := math.Abs(pq[i]-pe[i]) / math.Abs(pe[i]); rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// quantTrial runs one random multiply through both kernels and returns
+// the measured worst relative error (or -1 when both kernels rejected
+// the pair).
+func quantTrial(tb testing.TB, rnd *rand.Rand) float64 {
+	rankA := 1 + rnd.Intn(3)
+	rankB := 1 + rnd.Intn(3)
+	overlap := rnd.Intn(minInt(rankA, rankB) + 1)
+	if overlap >= rankB {
+		overlap = rankB - 1
+	}
+	fa := randomFactor(rnd, rankA)
+	fb := randomFactor(rnd, rankB)
+
+	posA := make([]int, rankA)
+	for i := range posA {
+		posA[i] = i
+	}
+	st0, err := initialState(fa, posA)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	keep := make([]int, 0, overlap)
+	posB := make([]int, rankB)
+	for i := range posB {
+		posB[i] = rankA - overlap + i
+	}
+	for q := rankA - overlap; q < rankA; q++ {
+		keep = append(keep, q)
+	}
+	folded, err := st0.foldTo(keep, 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	exact, errExact := folded.multiply(fb, posB, nil)
+	quant, errQuant := folded.multiplyQuant(fb, posB, nil)
+	if (errExact == nil) != (errQuant == nil) {
+		tb.Fatalf("error mismatch: exact %v, quantized %v", errExact, errQuant)
+	}
+	if errExact != nil {
+		return -1 // both kernels rejected (e.g. all mass conditioned away)
+	}
+	if !sameInts(exact.open, quant.open) {
+		tb.Fatalf("open dims differ: %v vs %v", exact.open, quant.open)
+	}
+	return maxQuantRelError(tb, exact.m, quant.m)
+}
+
+// INVARIANT: the quantized kernel touches the exact kernel's support
+// and stays within quantRelBound per cell.
+func TestQuantizedKernelErrorBound(t *testing.T) {
+	rnd := rand.New(rand.NewSource(314))
+	var worst float64
+	trials := 0
+	for trials < 300 {
+		if rel := quantTrial(t, rnd); rel >= 0 {
+			trials++
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	t.Logf("measured max relative error over %d multiplies: %.3g (bound %.3g)", trials, worst, quantRelBound)
+	if worst > quantRelBound {
+		t.Fatalf("quantized kernel error %.3g exceeds bound %.3g", worst, quantRelBound)
+	}
+}
+
+// End to end: a quantized CostDistribution stays within float32
+// accumulation error of the exact answer. Quantized cell values feed
+// downstream cut selection and compression, so the assertion is on
+// the distribution (mean, CDF), not on bucket structure.
+func TestCostDistributionQuantizedEndToEnd(t *testing.T) {
+	g, data, params := table1Fixture(t)
+	h, err := Build(g, data, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := graph.Path{0, 1, 2, 3, 4}
+	// LB forces a multi-factor chain, so the quantized multiply actually
+	// runs (a single-factor lucky case never multiplies).
+	exact, err := h.CostDistribution(query, 8*3600+300, QueryOptions{Method: MethodLB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := h.CostDistribution(query, 8*3600+300, QueryOptions{Method: MethodLB, Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, qm := exact.Dist.Mean(), quant.Dist.Mean()
+	if rel := math.Abs(qm-em) / em; rel > 1e-5 {
+		t.Fatalf("quantized mean %v vs exact %v: relative error %.3g", qm, em, rel)
+	}
+	var worst float64
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		x := exact.Dist.Quantile(p)
+		if d := math.Abs(quant.Dist.CDF(x) - exact.Dist.CDF(x)); d > worst {
+			worst = d
+		}
+	}
+	t.Logf("max CDF deviation at quantiles: %.3g", worst)
+	if worst > 1e-5 {
+		t.Fatalf("quantized CDF deviates by %.3g", worst)
+	}
+}
+
+// FuzzQuantizedKernel drives the same differential from fuzzed seeds —
+// the CI fuzz job runs it alongside the existing targets, so corpus
+// growth keeps probing support equality and the error bound.
+func FuzzQuantizedKernel(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rnd := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			if rel := quantTrial(t, rnd); rel > quantRelBound {
+				t.Fatalf("seed %d trial %d: relative error %.3g exceeds %.3g", seed, trial, rel, quantRelBound)
+			}
+		}
+	})
+}

@@ -123,7 +123,8 @@ func ReadHybridSynopsis(r io.Reader, g *graph.Graph) (*HybridGraph, *SynopsisSto
 	h := &HybridGraph{
 		G:         g,
 		vars:      make(map[string]*pathVars),
-		byStart:   make(map[graph.EdgeID][]*pathVars),
+		unit:      make([]*pathVars, g.NumEdges()),
+		byStart:   make([][]*pathVars, g.NumEdges()),
 		fallbacks: make(map[graph.EdgeID]*Variable),
 	}
 	// params

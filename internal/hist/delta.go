@@ -20,7 +20,7 @@ import (
 // bit-exact reproducibility must feed samples in a deterministic
 // order, which the trajectory pipeline does.
 type Delta struct {
-	keys  []CellKey
+	keys  []PackedKey
 	mass  []float64
 	dirty bool // keys are not known to be sorted+deduplicated
 }
@@ -34,16 +34,17 @@ func NewDelta() *Delta {
 // Consecutive Adds to the same key collapse immediately; otherwise
 // out-of-order keys are tolerated and resolved at seal time.
 func (d *Delta) Add(key CellKey, w float64) {
+	pk := PackKey(key)
 	if n := len(d.keys); n > 0 {
-		if d.keys[n-1] == key {
+		if d.keys[n-1] == pk {
 			d.mass[n-1] += w
 			return
 		}
-		if !cellKeyLess(d.keys[n-1], key) {
+		if !d.keys[n-1].Less(pk) {
 			d.dirty = true
 		}
 	}
-	d.keys = append(d.keys, key)
+	d.keys = append(d.keys, pk)
 	d.mass = append(d.mass, w)
 }
 
@@ -62,9 +63,9 @@ func (d *Delta) seal() {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		return cellKeyLess(d.keys[idx[a]], d.keys[idx[b]])
+		return d.keys[idx[a]].Less(d.keys[idx[b]])
 	})
-	keys := make([]CellKey, 0, len(d.keys))
+	keys := make([]PackedKey, 0, len(d.keys))
 	mass := make([]float64, 0, len(d.mass))
 	for _, i := range idx {
 		if n := len(keys); n > 0 && keys[n-1] == d.keys[i] {
@@ -82,7 +83,7 @@ func (d *Delta) seal() {
 func (d *Delta) ForEachSealed(fn func(key CellKey, w float64)) {
 	d.seal()
 	for i := range d.keys {
-		fn(d.keys[i], d.mass[i])
+		fn(d.keys[i].Unpack(), d.mass[i])
 	}
 }
 
@@ -131,15 +132,13 @@ func (m *Multi) MergeDelta(d *Delta, scale float64) (*Multi, error) {
 	ndims := len(m.bounds)
 	for i, k := range d.keys {
 		for dd := 0; dd < ndims; dd++ {
-			if int(k[dd]) >= len(m.bounds[dd])-1 {
+			if int(k.Dim(dd)) >= len(m.bounds[dd])-1 {
 				return nil, fmt.Errorf("hist: delta cell %d key dim %d = %d outside grid (%d buckets)",
-					i, dd, k[dd], len(m.bounds[dd])-1)
+					i, dd, k.Dim(dd), len(m.bounds[dd])-1)
 			}
 		}
-		for dd := ndims; dd < MaxDims; dd++ {
-			if k[dd] != 0 {
-				return nil, fmt.Errorf("hist: delta cell %d has nonzero key beyond dim %d", i, ndims)
-			}
+		if k.MaskPrefix(ndims) != k {
+			return nil, fmt.Errorf("hist: delta cell %d has nonzero key beyond dim %d", i, ndims)
 		}
 		if d.mass[i] < 0 || math.IsNaN(d.mass[i]) || math.IsInf(d.mass[i], 0) {
 			return nil, fmt.Errorf("hist: delta cell %d has invalid mass %v", i, d.mass[i])
@@ -153,7 +152,7 @@ func (m *Multi) MergeDelta(d *Delta, scale float64) (*Multi, error) {
 	// Cells whose merged mass is exactly zero (fully decayed, or a
 	// zero-mass delta entry) are dropped, not stored: the columnar
 	// arrays only ever hold occupied cells.
-	emit := func(key CellKey, p float64) {
+	emit := func(key PackedKey, p float64) {
 		if p == 0 {
 			return
 		}
@@ -167,7 +166,7 @@ func (m *Multi) MergeDelta(d *Delta, scale float64) (*Multi, error) {
 			emit(m.keys[i], m.probs[i]*scale+d.mass[j])
 			i++
 			j++
-		case cellKeyLess(m.keys[i], d.keys[j]):
+		case m.keys[i].Less(d.keys[j]):
 			emit(m.keys[i], m.probs[i]*scale)
 			i++
 		default:

@@ -301,9 +301,11 @@ type weightedInterval struct {
 // copy and the bucket workspace), so the evaluator's per-fold
 // rearrangements stop allocating once warm.
 type rearrangeScratch struct {
-	cuts []float64
-	wi   []weightedInterval
-	bs   []Bucket
+	cuts  []float64
+	wi    []weightedInterval
+	bs    []Bucket
+	act   []int     // live-interval working set of the sweep
+	costs []float64 // adjacent-pair merge costs for compression
 }
 
 var rearrangePool = sync.Pool{New: func() any { return new(rearrangeScratch) }}
@@ -364,22 +366,39 @@ func rearrangeInto(sc *rearrangeScratch, bs []Bucket, ivals []weightedInterval) 
 	} else {
 		bs = bs[:0]
 	}
+	// Sweep the elementary cells left to right with a live-interval
+	// working set: each interval enters when its lo crosses the cell
+	// (intervals are sorted by lo, so entries arrive in index order) and
+	// is compacted out once fully behind the sweep. Every interval is
+	// touched once per cell it actually overlaps, instead of being
+	// rescanned from the start for every cell. Compaction preserves
+	// index order, so the per-cell accumulation visits intervals in the
+	// same sequence as the full rescan did — the sums are bit-identical.
+	act := sc.act[:0]
+	next := 0
 	for i := 0; i+1 < len(cuts); i++ {
 		lo, hi := cuts[i], cuts[i+1]
+		for next < len(ivals) && ivals[next].lo < hi {
+			act = append(act, next)
+			next++
+		}
 		var pr float64
-		for _, iv := range ivals {
-			if iv.lo >= hi {
-				break
-			}
+		w := 0
+		for _, j := range act {
+			iv := ivals[j]
 			if iv.hi <= lo {
-				continue
+				continue // fully behind the sweep; drop from the set
 			}
+			act[w] = j
+			w++
 			pr += iv.pr * (hi - lo) / (iv.hi - iv.lo)
 		}
+		act = act[:w]
 		if pr > 0 {
 			bs = append(bs, Bucket{Lo: lo, Hi: hi, Pr: pr})
 		}
 	}
+	sc.act = act
 	// Merge adjacent cells with (near-)identical density to keep the
 	// result minimal without changing the distribution.
 	return mergeEqualDensity(bs), nil
@@ -507,7 +526,7 @@ func RearrangedCuts(intervals []Bucket, maxBuckets int) ([]float64, error) {
 	// Compress merges on a working copy (bs already is one) and
 	// re-normalizes through FromBuckets; it no-ops when small enough.
 	if maxBuckets >= 1 && len(bs) > maxBuckets {
-		bs = compressBuckets(bs, maxBuckets)
+		bs = compressBucketsInto(bs, maxBuckets, sc)
 		if err := normalizeBuckets(bs); err != nil {
 			panic(err) // merging valid disjoint buckets keeps them valid
 		}
@@ -523,17 +542,49 @@ func RearrangedCuts(intervals []Bucket, maxBuckets int) ([]float64, error) {
 // compressBuckets is the Compress merge loop operating in place on a
 // caller-owned working slice.
 func compressBuckets(bs []Bucket, maxBuckets int) []Bucket {
+	return compressBucketsInto(bs, maxBuckets, nil)
+}
+
+// compressBucketsInto is compressBuckets with the adjacent-pair cost
+// array kept in pooled scratch (when sc is non-nil). mergeCost is a
+// pure function of the two buckets, so each merge invalidates only the
+// (at most two) pairs adjacent to the merge point; every other cached
+// cost is exactly what a full rescan would recompute. The selection
+// scan keeps the first-strictly-smaller tie-break of the rescan loop,
+// so the merge sequence — and every output byte — is identical.
+func compressBucketsInto(bs []Bucket, maxBuckets int, sc *rearrangeScratch) []Bucket {
+	if len(bs) <= maxBuckets {
+		return bs
+	}
+	var costs []float64
+	if sc != nil && cap(sc.costs) >= len(bs)-1 {
+		costs = sc.costs[:len(bs)-1]
+	} else {
+		costs = make([]float64, len(bs)-1)
+		if sc != nil {
+			sc.costs = costs
+		}
+	}
+	for i := range costs {
+		costs[i] = mergeCost(bs[i], bs[i+1])
+	}
 	for len(bs) > maxBuckets {
-		bestIdx, bestCost := -1, math.Inf(1)
-		for i := 0; i+1 < len(bs); i++ {
-			c := mergeCost(bs[i], bs[i+1])
-			if c < bestCost {
-				bestCost, bestIdx = c, i
+		bestIdx, bestCost := 0, costs[0]
+		for i := 1; i < len(costs); i++ {
+			if costs[i] < bestCost {
+				bestCost, bestIdx = costs[i], i
 			}
 		}
 		a, b := bs[bestIdx], bs[bestIdx+1]
 		bs[bestIdx] = Bucket{Lo: a.Lo, Hi: b.Hi, Pr: a.Pr + b.Pr}
 		bs = append(bs[:bestIdx+1], bs[bestIdx+2:]...)
+		costs = append(costs[:bestIdx], costs[bestIdx+1:]...)
+		if bestIdx > 0 {
+			costs[bestIdx-1] = mergeCost(bs[bestIdx-1], bs[bestIdx])
+		}
+		if bestIdx < len(costs) {
+			costs[bestIdx] = mergeCost(bs[bestIdx], bs[bestIdx+1])
+		}
 	}
 	return bs
 }

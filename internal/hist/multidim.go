@@ -16,12 +16,15 @@ const MaxDims = 12
 
 // CellKey identifies a hyper-bucket by its per-dimension bucket
 // indices. Unused trailing dimensions must be zero so that keys remain
-// directly comparable.
+// directly comparable. This is the API form; storage and all hot
+// comparisons use the dimension-packed PackedKey (see packedkey.go),
+// for which cellKeyLess is the ordering oracle.
 type CellKey [MaxDims]uint16
 
 // cellKeyLess reports whether a sorts before b in lexicographic order
 // over all dimensions — the storage order of Multi and the visit order
-// of ForEachSorted.
+// of ForEachSorted. PackedKey.Less implements the same order on the
+// packed form; the differential tests pin the two against each other.
 func cellKeyLess(a, b CellKey) bool {
 	for d := 0; d < MaxDims; d++ {
 		if a[d] != b[d] {
@@ -42,15 +45,28 @@ func cellKeyLess(a, b CellKey) bool {
 // folding, serialization) a zero-allocation linear scan, and lets the
 // chain evaluator join two histograms' cells with a merge instead of
 // hash lookups. The map-based predecessor re-derived this order with a
-// sort on every visit.
+// sort on every visit. Keys are stored dimension-packed (PackedKey),
+// so the order is maintained with 1–3 word compares per key pair.
 type Multi struct {
 	bounds [][]float64 // bounds[d] has len nb_d+1, strictly increasing
-	keys   []CellKey   // ascending lexicographic, no duplicates
+	keys   []PackedKey // ascending lexicographic, no duplicates
 	probs  []float64   // probs[i] belongs to keys[i]
 
 	// marg caches per-dimension marginals so a warm Marginal is
 	// allocation-free; any cell mutation invalidates the cache.
 	marg [MaxDims]atomic.Pointer[Histogram]
+
+	// sum caches the last SumHistogram result the same way: model
+	// variables are immutable once built, and the single-factor "lucky
+	// case" of chain evaluation flattens the same joint on every query.
+	sum atomic.Pointer[sumHistCache]
+}
+
+// sumHistCache is one memoized SumHistogram answer; maxBuckets is part
+// of the identity because compression depends on it.
+type sumHistCache struct {
+	maxBuckets int
+	h          *Histogram
 }
 
 // NewMulti creates an empty multi-dimensional histogram over the given
@@ -85,7 +101,7 @@ func newMultiFromPool(ndims, cellCap int) *Multi {
 		}
 	}
 	if cap(m.keys) < cellCap {
-		m.keys = make([]CellKey, 0, cellCap)
+		m.keys = make([]PackedKey, 0, cellCap)
 	} else {
 		m.keys = m.keys[:0]
 	}
@@ -112,8 +128,17 @@ func PutMulti(m *Multi) {
 	m.bounds = m.bounds[:0]
 	m.keys = m.keys[:0]
 	m.probs = m.probs[:0]
+	// Clear only the cached marginals that exist: most transient Multis
+	// never compute one, and an unconditional atomic store per dimension
+	// (write barrier included) was a measurable slice of the uncached
+	// query path.
 	for d := range m.marg {
-		m.marg[d].Store(nil)
+		if m.marg[d].Load() != nil {
+			m.marg[d].Store(nil)
+		}
+	}
+	if m.sum.Load() != nil {
+		m.sum.Store(nil)
 	}
 	multiPool.Put(m)
 }
@@ -137,10 +162,73 @@ func NewMultiFromCells(bounds [][]float64, keys []CellKey, probs []float64) (*Mu
 	m := newMultiFromPool(len(bounds), len(keys))
 	copy(m.bounds, bounds)
 	m.keys = m.keys[:len(keys)]
+	for i, k := range keys {
+		m.keys[i] = PackKey(k)
+	}
+	m.probs = m.probs[:len(probs)]
+	copy(m.probs, probs)
+	return m, nil
+}
+
+// NewMultiFromPackedCells is NewMultiFromCells for producers that
+// already hold packed keys and guarantee the cell contract by
+// construction: keys strictly ascending, indices inside the grid, zero
+// unused dimensions. The chain evaluator's kernels qualify — their
+// emission loops provably emit in sorted order — so this constructor
+// skips the per-cell validation pass entirely; everyone else must use
+// NewMultiFromCells. Violating the contract corrupts every sorted-scan
+// consumer downstream; CheckInvariants exists for tests to assert the
+// contract after kernel changes.
+func NewMultiFromPackedCells(bounds [][]float64, keys []PackedKey, probs []float64) (*Multi, error) {
+	// Trusted constructor: callers own boundary monotonicity (kernel
+	// states pass model bounds plus rearranged cuts, both ascending by
+	// construction), so the O(Σ|bounds|) per-value scan of
+	// validateBounds is skipped. Shape is still checked; tests cover
+	// the rest via CheckInvariants.
+	if len(bounds) == 0 || len(bounds) > MaxDims {
+		return nil, fmt.Errorf("hist: %d dimensions out of range [1,%d]", len(bounds), MaxDims)
+	}
+	for d, bd := range bounds {
+		if len(bd) < 2 {
+			return nil, fmt.Errorf("hist: dimension %d has %d boundaries, need ≥ 2", d, len(bd))
+		}
+		if len(bd) > math.MaxUint16 {
+			return nil, fmt.Errorf("hist: dimension %d has too many buckets", d)
+		}
+	}
+	if len(keys) != len(probs) {
+		return nil, fmt.Errorf("hist: %d keys but %d probabilities", len(keys), len(probs))
+	}
+	m := newMultiFromPool(len(bounds), len(keys))
+	copy(m.bounds, bounds)
+	m.keys = m.keys[:len(keys)]
 	copy(m.keys, keys)
 	m.probs = m.probs[:len(probs)]
 	copy(m.probs, probs)
 	return m, nil
+}
+
+// CheckInvariants verifies the sorted-cell storage contract — strictly
+// ascending keys, in-range indices, zero unused dimensions. Tests run
+// it after trusted-constructor paths; it is never on a hot path.
+func (m *Multi) CheckInvariants() error {
+	dims := len(m.bounds)
+	for i, pk := range m.keys {
+		if i > 0 && !m.keys[i-1].Less(pk) {
+			return fmt.Errorf("hist: cell keys not in ascending order at %d", i)
+		}
+		k := pk.Unpack()
+		for d := 0; d < MaxDims; d++ {
+			if d < dims {
+				if int(k[d]) >= len(m.bounds[d])-1 {
+					return fmt.Errorf("hist: cell %d index %d out of range on dim %d", i, k[d], d)
+				}
+			} else if k[d] != 0 {
+				return fmt.Errorf("hist: cell %d has non-zero index on unused dim %d", i, d)
+			}
+		}
+	}
+	return nil
 }
 
 func validateCells(bounds [][]float64, keys []CellKey, probs []float64) error {
@@ -206,11 +294,11 @@ func (m *Multi) NumBuckets(d int) int { return len(m.bounds[d]) - 1 }
 // NumCells returns the number of occupied hyper-buckets.
 func (m *Multi) NumCells() int { return len(m.keys) }
 
-// Cells exposes the columnar cell storage: the keys in ascending
-// lexicographic order and the parallel probabilities. The chain
-// evaluator's merge-join and fold kernels iterate these directly.
-// Callers must not modify either slice.
-func (m *Multi) Cells() (keys []CellKey, probs []float64) { return m.keys, m.probs }
+// Cells exposes the columnar cell storage: the packed keys in
+// ascending lexicographic order and the parallel probabilities. The
+// chain evaluator's merge-join and fold kernels iterate these
+// directly. Callers must not modify either slice.
+func (m *Multi) Cells() (keys []PackedKey, probs []float64) { return m.keys, m.probs }
 
 // cellKeyFloats is the float64-equivalent storage of one cell key in
 // the columnar layout (a CellKey is MaxDims uint16 words).
@@ -254,8 +342,8 @@ func (m *Multi) locate(d int, v float64) int {
 
 // search returns the storage index of key and whether it is occupied;
 // for absent keys the returned index is the insertion position.
-func (m *Multi) search(key CellKey) (int, bool) {
-	i := sort.Search(len(m.keys), func(i int) bool { return !cellKeyLess(m.keys[i], key) })
+func (m *Multi) search(key PackedKey) (int, bool) {
+	i := sort.Search(len(m.keys), func(i int) bool { return !m.keys[i].Less(key) })
 	if i < len(m.keys) && m.keys[i] == key {
 		return i, true
 	}
@@ -263,16 +351,23 @@ func (m *Multi) search(key CellKey) (int, bool) {
 }
 
 // invalidateMarginals drops the cached per-dimension marginals; every
-// cell mutation must call it.
+// cell mutation must call it. Only populated entries are cleared —
+// atomic stores dirty the cache line and run a write barrier, and most
+// mutated histograms never computed a marginal.
 func (m *Multi) invalidateMarginals() {
 	for d := range m.bounds {
-		m.marg[d].Store(nil)
+		if m.marg[d].Load() != nil {
+			m.marg[d].Store(nil)
+		}
+	}
+	if m.sum.Load() != nil {
+		m.sum.Store(nil)
 	}
 }
 
 // insertAt places a new cell at storage position i, shifting the tail.
-func (m *Multi) insertAt(i int, key CellKey, pr float64) {
-	m.keys = append(m.keys, CellKey{})
+func (m *Multi) insertAt(i int, key PackedKey, pr float64) {
+	m.keys = append(m.keys, PackedKey{})
 	copy(m.keys[i+1:], m.keys[i:])
 	m.keys[i] = key
 	m.probs = append(m.probs, 0)
@@ -290,8 +385,8 @@ func (m *Multi) removeAt(i int) {
 // absent (mirroring map += semantics: a zero-weight accrual still
 // creates the cell). Ascending insertions — the common case, since
 // producers emit in sorted order — append in O(1).
-func (m *Multi) addKey(key CellKey, w float64) {
-	if n := len(m.keys); n == 0 || cellKeyLess(m.keys[n-1], key) {
+func (m *Multi) addKey(key PackedKey, w float64) {
+	if n := len(m.keys); n == 0 || m.keys[n-1].Less(key) {
 		m.keys = append(m.keys, key)
 		m.probs = append(m.probs, w)
 	} else if i, ok := m.search(key); ok {
@@ -313,13 +408,13 @@ func (m *Multi) Add(point []float64, w float64) bool {
 		}
 		key[d] = uint16(i)
 	}
-	m.addKey(key, w)
+	m.addKey(PackKey(key), w)
 	return true
 }
 
-// checkedKey converts per-dimension indices to a CellKey, panicking on
-// out-of-range indices. Used by tests and by factor operations.
-func (m *Multi) checkedKey(idx []int) CellKey {
+// checkedKey converts per-dimension indices to a packed key, panicking
+// on out-of-range indices. Used by tests and by factor operations.
+func (m *Multi) checkedKey(idx []int) PackedKey {
 	var key CellKey
 	for d, i := range idx {
 		if i < 0 || i >= m.NumBuckets(d) {
@@ -327,7 +422,7 @@ func (m *Multi) checkedKey(idx []int) CellKey {
 		}
 		key[d] = uint16(i)
 	}
-	return key
+	return PackKey(key)
 }
 
 // SetCell assigns probability to a hyper-bucket by index; indexes must
@@ -343,7 +438,7 @@ func (m *Multi) SetCell(idx []int, pr float64) {
 		}
 		return
 	}
-	if n := len(m.keys); n == 0 || cellKeyLess(m.keys[n-1], key) {
+	if n := len(m.keys); n == 0 || m.keys[n-1].Less(key) {
 		m.keys = append(m.keys, key)
 		m.probs = append(m.probs, pr)
 	} else if i, ok := m.search(key); ok {
@@ -369,7 +464,7 @@ func (m *Multi) Cell(idx []int) float64 {
 	for d, i := range idx {
 		key[d] = uint16(i)
 	}
-	if i, ok := m.search(key); ok {
+	if i, ok := m.search(PackKey(key)); ok {
 		return m.probs[i]
 	}
 	return 0
@@ -380,7 +475,7 @@ func (m *Multi) Cell(idx []int) float64 {
 // map-based predecessor visited in map order here).
 func (m *Multi) ForEach(fn func(key CellKey, pr float64)) {
 	for i, k := range m.keys {
-		fn(k, m.probs[i])
+		fn(k.Unpack(), m.probs[i])
 	}
 }
 
@@ -390,7 +485,7 @@ func (m *Multi) ForEach(fn func(key CellKey, pr float64)) {
 // making the visit a zero-allocation linear scan.
 func (m *Multi) ForEachSorted(fn func(key CellKey, pr float64)) {
 	for i, k := range m.keys {
-		fn(k, m.probs[i])
+		fn(k.Unpack(), m.probs[i])
 	}
 }
 
@@ -442,7 +537,7 @@ func (m *Multi) Clone() *Multi {
 	}
 	return &Multi{
 		bounds: cp,
-		keys:   append([]CellKey(nil), m.keys...),
+		keys:   append([]PackedKey(nil), m.keys...),
 		probs:  append([]float64(nil), m.probs...),
 	}
 }
@@ -458,7 +553,7 @@ func (m *Multi) Marginal(d int) *Histogram {
 	}
 	pr := make([]float64, m.NumBuckets(d))
 	for i, k := range m.keys {
-		pr[k[d]] += m.probs[i]
+		pr[k.Dim(d)] += m.probs[i]
 	}
 	bs := make([]Bucket, 0, len(pr))
 	for i, p := range pr {
@@ -505,10 +600,7 @@ func (m *Multi) MarginalOnto(dims []int) (*Multi, error) {
 	}
 	if prefix {
 		for i, k := range m.keys {
-			var nk CellKey
-			for j := range dims {
-				nk[j] = k[j]
-			}
+			nk := k.MaskPrefix(len(dims))
 			if n := len(out.keys); n > 0 && out.keys[n-1] == nk {
 				out.probs[n-1] += m.probs[i]
 			} else {
@@ -519,9 +611,9 @@ func (m *Multi) MarginalOnto(dims []int) (*Multi, error) {
 		return out, nil
 	}
 	for i, k := range m.keys {
-		var nk CellKey
+		var nk PackedKey
 		for j, d := range dims {
-			nk[j] = k[d]
+			nk = nk.WithDim(j, k.Dim(d))
 		}
 		out.addKey(nk, m.probs[i])
 	}
@@ -535,7 +627,7 @@ func (m *Multi) MinSum() float64 {
 	for _, k := range m.keys {
 		var s float64
 		for d := 0; d < m.Dims(); d++ {
-			s += m.bounds[d][k[d]]
+			s += m.bounds[d][k.Dim(d)]
 		}
 		if s < min {
 			min = s
@@ -550,7 +642,7 @@ func (m *Multi) MaxSum() float64 {
 	for _, k := range m.keys {
 		var s float64
 		for d := 0; d < m.Dims(); d++ {
-			s += m.bounds[d][k[d]+1]
+			s += m.bounds[d][k.Dim(d)+1]
 		}
 		if s > max {
 			max = s
@@ -568,6 +660,9 @@ func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
 	if len(m.keys) == 0 {
 		return nil, fmt.Errorf("hist: empty multi-histogram")
 	}
+	if c := m.sum.Load(); c != nil && c.maxBuckets == maxBuckets {
+		return c.h, nil
+	}
 	// Sorted (storage) order: rearrange accumulates overlapping
 	// intervals, so the input sequence must be reproducible (see Total).
 	sc := rearrangePool.Get().(*rearrangeScratch)
@@ -581,8 +676,9 @@ func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
 	for i, k := range m.keys {
 		var lo, hi float64
 		for d := 0; d < m.Dims(); d++ {
-			lo += m.bounds[d][k[d]]
-			hi += m.bounds[d][k[d]+1]
+			b := m.bounds[d][k.Dim(d):]
+			lo += b[0]
+			hi += b[1]
 		}
 		ivals = append(ivals, weightedInterval{lo: lo, hi: hi, pr: m.probs[i]})
 	}
@@ -594,6 +690,9 @@ func (m *Multi) SumHistogram(maxBuckets int) (*Histogram, error) {
 	if maxBuckets > 0 {
 		h = h.Compress(maxBuckets)
 	}
+	// Racing fillers computed the identical histogram; whichever lands
+	// is the same answer (see Marginal).
+	m.sum.Store(&sumHistCache{maxBuckets: maxBuckets, h: h})
 	return h, nil
 }
 
@@ -718,35 +817,22 @@ func (m *Multi) RemapDimTable(d int, t *RemapTable) (*Multi, error) {
 	for i := 0; i < n; {
 		// Sub-run [i, j): cells identical through dimension d.
 		j := i + 1
-		for j < n && samePrefixThrough(m.keys[i], m.keys[j], d) {
+		for j < n && m.keys[i].PrefixEq(m.keys[j], d+1) {
 			j++
 		}
-		od := int(m.keys[i][d])
+		od := int(m.keys[i].Dim(d))
 		base, span := t.off[od], t.off[od+1]-t.off[od]
 		for s := 0; s < span; s++ {
 			frac := t.fracs[base+s]
 			ni := uint16(t.first[od] + s)
 			for c := i; c < j; c++ {
-				nk := m.keys[c]
-				nk[d] = ni
-				out.keys = append(out.keys, nk)
+				out.keys = append(out.keys, m.keys[c].WithDim(d, ni))
 				out.probs = append(out.probs, m.probs[c]*frac)
 			}
 		}
 		i = j
 	}
 	return out, nil
-}
-
-// samePrefixThrough reports whether a and b agree on dimensions 0..d
-// inclusive.
-func samePrefixThrough(a, b CellKey, d int) bool {
-	for i := 0; i <= d; i++ {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func floatsEqual(a, b []float64) bool {

@@ -1,0 +1,152 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// Differential tests for the rearrangement sweep and the compression
+// cost cache: both were rewritten for speed with the explicit claim
+// that every output byte is unchanged. The originals — a full interval
+// rescan per elementary cell, and a full adjacent-pair rescan per
+// merge — are small enough to keep here as oracles.
+
+// rearrangeRef is the pre-sweep rearrangement core: for every
+// elementary cell, rescan all intervals in sorted order and accumulate
+// the overlapping shares. The sweep's compaction preserves index
+// order, so its per-cell accumulation must match this bit for bit.
+func rearrangeRef(ivals []weightedInterval) ([]Bucket, error) {
+	if len(ivals) == 0 {
+		return nil, nil
+	}
+	var cuts []float64
+	for _, iv := range ivals {
+		if !(iv.hi > iv.lo) {
+			return nil, nil
+		}
+		cuts = append(cuts, iv.lo, iv.hi)
+	}
+	sort.Float64s(cuts)
+	cuts = dedupFloats(cuts)
+	// The exact sort rearrangeInto runs (slices.SortFunc is unstable, so
+	// a different-but-equivalent sort could permute equal-lo intervals
+	// and change the accumulation order).
+	slices.SortFunc(ivals, func(a, b weightedInterval) int {
+		switch {
+		case a.lo < b.lo:
+			return -1
+		case b.lo < a.lo:
+			return 1
+		default:
+			return 0
+		}
+	})
+	var bs []Bucket
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		var pr float64
+		for _, iv := range ivals {
+			if iv.lo < hi && iv.hi > lo {
+				pr += iv.pr * (hi - lo) / (iv.hi - iv.lo)
+			}
+		}
+		if pr > 0 {
+			bs = append(bs, Bucket{Lo: lo, Hi: hi, Pr: pr})
+		}
+	}
+	return mergeEqualDensity(bs), nil
+}
+
+// compressRef is the pre-cache merge loop: rescan every adjacent pair
+// for the cheapest merge each round, first strictly smaller wins.
+func compressRef(bs []Bucket, maxBuckets int) []Bucket {
+	for len(bs) > maxBuckets {
+		bestIdx, bestCost := 0, mergeCost(bs[0], bs[1])
+		for i := 1; i+1 < len(bs); i++ {
+			if c := mergeCost(bs[i], bs[i+1]); c < bestCost {
+				bestCost, bestIdx = c, i
+			}
+		}
+		a, b := bs[bestIdx], bs[bestIdx+1]
+		bs[bestIdx] = Bucket{Lo: a.Lo, Hi: b.Hi, Pr: a.Pr + b.Pr}
+		bs = append(bs[:bestIdx+1], bs[bestIdx+2:]...)
+	}
+	return bs
+}
+
+func randomIvals(rnd *rand.Rand, n int) []weightedInterval {
+	ivals := make([]weightedInterval, n)
+	for i := range ivals {
+		lo := float64(rnd.Intn(40)) * 0.5
+		w := 0.5 + float64(rnd.Intn(10))*0.5
+		ivals[i] = weightedInterval{lo: lo, hi: lo + w, pr: 0.01 + rnd.Float64()}
+	}
+	return ivals
+}
+
+func sameBucketsBits(t *testing.T, got, want []Bucket, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d buckets, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i].Lo) != math.Float64bits(want[i].Lo) ||
+			math.Float64bits(got[i].Hi) != math.Float64bits(want[i].Hi) ||
+			math.Float64bits(got[i].Pr) != math.Float64bits(want[i].Pr) {
+			t.Fatalf("%s: bucket %d differs at the bit level: %+v vs %+v",
+				what, i, got[i], want[i])
+		}
+	}
+}
+
+// INVARIANT: the live-set sweep emits byte-identical buckets to the
+// full-rescan rearrangement it replaced.
+func TestRearrangeSweepMatchesRescan(t *testing.T) {
+	rnd := rand.New(rand.NewSource(51))
+	sc := &rearrangeScratch{}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rnd.Intn(40)
+		ivals := randomIvals(rnd, n)
+		ref := append([]weightedInterval(nil), ivals...)
+		got, err := rearrangeInto(sc, sc.bs, ivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.bs = got[:0]
+		want, err := rearrangeRef(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBucketsBits(t, got, want, "rearrange")
+	}
+}
+
+// INVARIANT: the incremental pair-cost cache reproduces the rescan
+// loop's merge sequence — identical buckets after compression, with
+// and without pooled scratch.
+func TestCompressCacheMatchesRescan(t *testing.T) {
+	rnd := rand.New(rand.NewSource(52))
+	sc := &rearrangeScratch{}
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rnd.Intn(60)
+		bs := make([]Bucket, 0, n)
+		lo := 0.0
+		for i := 0; i < n; i++ {
+			if rnd.Intn(4) == 0 {
+				lo += 0.25 // gaps exercise the smear term of mergeCost
+			}
+			w := 0.25 + float64(rnd.Intn(8))*0.25
+			bs = append(bs, Bucket{Lo: lo, Hi: lo + w, Pr: 0.01 + rnd.Float64()})
+			lo += w
+		}
+		maxBuckets := 1 + rnd.Intn(n)
+		want := compressRef(append([]Bucket(nil), bs...), maxBuckets)
+		got := compressBucketsInto(append([]Bucket(nil), bs...), maxBuckets, sc)
+		sameBucketsBits(t, got, want, "compress(sc)")
+		got2 := compressBuckets(append([]Bucket(nil), bs...), maxBuckets)
+		sameBucketsBits(t, got2, want, "compress(nil)")
+	}
+}

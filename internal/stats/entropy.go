@@ -41,7 +41,7 @@ func EntropyMulti(m *hist.Multi) float64 {
 		}
 		vol := 1.0
 		for d := 0; d < m.Dims(); d++ {
-			lo, hi := m.BucketRange(d, int(k[d]))
+			lo, hi := m.BucketRange(d, int(k.Dim(d)))
 			vol *= hi - lo
 		}
 		e -= pr * math.Log(pr/vol)

@@ -4,17 +4,27 @@
 # Runs the root benchmarks with -benchmem, parses ns/op, B/op,
 # allocs/op (plus deltas/sec where a benchmark reports it), runs the
 # loadgen selftest against an in-process 3-way sharded fleet, and
-# writes everything as JSON (default: BENCH_8.json) so perf changes
+# writes everything as JSON (default: BENCH_9.json) so perf changes
 # land with recorded numbers instead of anecdotes.
 #
+# After writing the output it diffs against the previous recorded
+# baseline (the highest-numbered other BENCH_N.json, or $BASELINE):
+# every shared benchmark gets a ns/op delta line, and a convolution
+# benchmark (PathDistribution*/CostDistribution*) regressing by more
+# than 25% fails the run. REPORT_ONLY=1 downgrades that failure to a
+# report — the CI smoke mode, where runner noise would make a hard
+# gate flaky.
+#
 # Usage:
-#   sh scripts/bench.sh              # writes BENCH_8.json
+#   sh scripts/bench.sh              # writes BENCH_9.json
 #   sh scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=5s sh scripts/bench.sh # custom -benchtime
+#   BASELINE=BENCH_7.json sh scripts/bench.sh
+#   REPORT_ONLY=1 sh scripts/bench.sh
 #   LOADQPS=200 LOADDUR=5s sh scripts/bench.sh
 set -eu
 
-OUT=${1:-BENCH_8.json}
+OUT=${1:-BENCH_9.json}
 BENCHTIME=${BENCHTIME:-2s}
 LOADQPS=${LOADQPS:-80}
 LOADDUR=${LOADDUR:-3s}
@@ -61,3 +71,75 @@ END {
 } > "$OUT"
 
 echo "wrote $OUT"
+
+# --- Baseline delta --------------------------------------------------
+# Pick the previous recording: the highest-numbered BENCH_N.json that
+# is not the file just written (override with BASELINE=).
+BASELINE=${BASELINE:-}
+if [ -z "$BASELINE" ]; then
+    cur=$(basename "$OUT")
+    best=-1
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        [ "$(basename "$f")" = "$cur" ] && continue
+        n=${f#BENCH_}
+        n=${n%.json}
+        case $n in
+            *[!0-9]* | '') continue ;;
+        esac
+        if [ "$n" -gt "$best" ]; then
+            best=$n
+            BASELINE=$f
+        fi
+    done
+fi
+
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "no baseline BENCH_N.json found; skipping delta report"
+    exit 0
+fi
+
+echo ""
+echo "delta vs $BASELINE (threshold: +25% ns/op on convolution benchmarks)"
+awk -v report_only="${REPORT_ONLY:-0}" -v baseline="$BASELINE" '
+# Both files carry one result object per line; extract name and ns/op.
+FNR == 1 { nfile++ }
+/"name":/ {
+    if (match($0, /"name": "[^"]*"/) == 0) next
+    name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (match($0, /"ns_per_op": [0-9.eE+-]+/) == 0) next
+    ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+    if (nfile == 1) {
+        base[name] = ns
+    } else if (name in seen == 0) {
+        seen[name] = 1
+        order[m++] = name
+        curns[name] = ns
+    }
+}
+END {
+    fail = 0
+    printf "  %-52s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta"
+    for (i = 0; i < m; i++) {
+        name = order[i]
+        if (!(name in base)) {
+            printf "  %-52s %14s %14.0f %9s\n", name, "-", curns[name], "new"
+            continue
+        }
+        pct = (curns[name] - base[name]) / base[name] * 100
+        flag = ""
+        if (name ~ /^Benchmark(PathDistribution|CostDistribution)/ && pct > 25) {
+            flag = "  REGRESSION"
+            fail = 1
+        }
+        printf "  %-52s %14.0f %14.0f %+8.1f%%%s\n", name, base[name], curns[name], pct, flag
+    }
+    if (fail) {
+        if (report_only + 0) {
+            print "convolution regression past threshold (report-only mode, not failing)"
+        } else {
+            print "FAIL: convolution benchmark regressed more than 25% vs " baseline
+            exit 1
+        }
+    }
+}' "$BASELINE" "$OUT"
