@@ -70,6 +70,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -79,6 +80,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // options collects every knob of the daemon so the run loop is a
@@ -105,15 +107,21 @@ type options struct {
 	maxIngest     int
 	epochInterval time.Duration
 	decayHalflife time.Duration
+	walDir        string
+	walCheckpoint string
+
+	defaultTimeout time.Duration
 
 	// Coordinator mode: serve the API over a fleet of shards instead
 	// of a local model.
-	coordinator   bool
-	shards        string
-	partitionFile string
-	hedgeAfter    time.Duration
-	probeInterval time.Duration
-	shardTimeout  time.Duration
+	coordinator      bool
+	shards           string
+	partitionFile    string
+	hedgeAfter       time.Duration
+	probeInterval    time.Duration
+	shardTimeout     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
 }
 
 func main() {
@@ -134,16 +142,21 @@ func main() {
 	flag.IntVar(&opt.maxQueue, "max-queue", 0, "load shedding: max requests queued for an evaluation slot before new arrivals get 429 + Retry-After (0 = no shedding)")
 	flag.DurationVar(&opt.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout (0 = close immediately)")
 	flag.BoolVar(&opt.coordinator, "coordinator", false, "serve as the sharded-tier coordinator over -shards instead of a local model (requires -network and -partition)")
-	flag.StringVar(&opt.shards, "shards", "", "comma-separated shard base URLs, one per partition region in order (coordinator mode)")
+	flag.StringVar(&opt.shards, "shards", "", "comma-separated shard base URLs, one per partition region in order; a region may be a pipe-separated replica group, e.g. http://a:8080|http://b:8080 (coordinator mode)")
 	flag.StringVar(&opt.partitionFile, "partition", "", "region partition file written by cmd/pathcost -partition (coordinator mode)")
 	flag.DurationVar(&opt.hedgeAfter, "hedge-after", 150*time.Millisecond, "race a second leg against a shard call slower than this (coordinator mode)")
 	flag.DurationVar(&opt.probeInterval, "probe-interval", 2*time.Second, "per-shard /healthz probe spacing; negative disables (coordinator mode)")
 	flag.DurationVar(&opt.shardTimeout, "shard-timeout", 10*time.Second, "per-leg shard call timeout (coordinator mode)")
+	flag.IntVar(&opt.breakerThreshold, "breaker-threshold", 0, "consecutive leg failures that open a replica's circuit breaker (0 = 3, negative disables; coordinator mode)")
+	flag.DurationVar(&opt.breakerCooldown, "breaker-cooldown", 0, "how long an open breaker deflects a replica's traffic before a half-open trial (0 = 1s; coordinator mode)")
+	flag.DurationVar(&opt.defaultTimeout, "default-timeout", 0, "end-to-end deadline per query request; expiry answers 504, and clients tighten it per request with the X-Budget-Ms header (0 = unbounded)")
 	flag.BoolVar(&opt.enableIngest, "ingest", false, "enable POST /v1/ingest: raw GPS batches are map-matched and staged for the next epoch publish")
 	flag.IntVar(&opt.ingestWorkers, "ingest-workers", runtime.NumCPU(), "map-matching worker pool per ingest batch")
 	flag.IntVar(&opt.maxIngest, "max-ingest-batch", 0, "max trajectories per /v1/ingest request (0 = default)")
 	flag.DurationVar(&opt.epochInterval, "epoch-interval", 0, "publish a new model epoch this often when deltas are staged (0 = only on SIGHUP)")
 	flag.DurationVar(&opt.decayHalflife, "decay-halflife", 0, "exponential time-decay halflife for epoch publishes (0 = exact incremental rebuild)")
+	flag.StringVar(&opt.walDir, "wal", "", "ingest write-ahead log directory: staged batches are persisted before acknowledgment and replayed at boot, so a crash never loses acked trajectories")
+	flag.StringVar(&opt.walCheckpoint, "wal-checkpoint", "", "model checkpoint file written after each epoch publish (temp + rename); a successful checkpoint lets the WAL truncate folded records (requires -wal)")
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "listen address for net/http/pprof and /metrics (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
 
@@ -185,6 +198,28 @@ func run(ctx context.Context, opt options, logger *log.Logger, hup <-chan os.Sig
 	}
 	sys.SetDecayHalflife(opt.decayHalflife)
 
+	if opt.walCheckpoint != "" && opt.walDir == "" {
+		return fmt.Errorf("-wal-checkpoint requires -wal")
+	}
+	if opt.walDir != "" {
+		wlog, err := wal.Open(opt.walDir, wal.Options{})
+		if err != nil {
+			return err
+		}
+		defer wlog.Close()
+		if opt.walCheckpoint != "" {
+			sys.SetWALCheckpoint(func() error {
+				return saveModelAtomic(sys, opt.walCheckpoint)
+			})
+		}
+		rb, rt := sys.AttachWAL(wlog)
+		if rt > 0 {
+			logger.Printf("wal: replayed %d trajectories from %d batches in %s; they fold in at the next epoch publish", rt, rb, opt.walDir)
+		} else {
+			logger.Printf("wal: %s clean, nothing to replay", opt.walDir)
+		}
+	}
+
 	st := sys.Stats()
 	logger.Printf("serving %d vertices / %d edges, %d variables, coverage %.1f%% on %s",
 		sys.Graph.NumVertices(), sys.Graph.NumEdges(), st.TotalVariables(), st.Coverage()*100, opt.addr)
@@ -195,6 +230,7 @@ func run(ctx context.Context, opt options, logger *log.Logger, hup <-chan os.Sig
 		EnableIngest:   opt.enableIngest,
 		IngestWorkers:  opt.ingestWorkers,
 		MaxIngestBatch: opt.maxIngest,
+		DefaultTimeout: opt.defaultTimeout,
 	})
 	if opt.pprofAddr != "" {
 		go servePprof(opt.pprofAddr, logger, srv.Metrics())
@@ -250,12 +286,15 @@ func runCoordinator(ctx context.Context, opt options, logger *log.Logger, onRead
 		return err
 	}
 	coord, err := shard.New(g, part, shard.Config{
-		Shards:        bases,
-		MaxInFlight:   opt.maxInFlight,
-		MaxQueue:      opt.maxQueue,
-		Timeout:       opt.shardTimeout,
-		HedgeAfter:    opt.hedgeAfter,
-		ProbeInterval: opt.probeInterval,
+		Shards:           bases,
+		MaxInFlight:      opt.maxInFlight,
+		MaxQueue:         opt.maxQueue,
+		Timeout:          opt.shardTimeout,
+		HedgeAfter:       opt.hedgeAfter,
+		ProbeInterval:    opt.probeInterval,
+		BreakerThreshold: opt.breakerThreshold,
+		BreakerCooldown:  opt.breakerCooldown,
+		DefaultTimeout:   opt.defaultTimeout,
 	})
 	if err != nil {
 		return err
@@ -333,9 +372,39 @@ func servePprof(addr string, logger *log.Logger, metrics http.Handler) {
 		mux.Handle("/metrics", metrics)
 	}
 	logger.Printf("pprof listening on %s", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: server.ServeReadHeaderTimeout,
+		IdleTimeout:       server.ServeIdleTimeout,
+	}
+	if err := srv.ListenAndServe(); err != nil {
 		logger.Printf("pprof listener failed: %v", err)
 	}
+}
+
+// saveModelAtomic persists the served model with the temp-file +
+// rename dance: the checkpoint path either holds the complete previous
+// model or the complete new one, never a torn write — exactly what WAL
+// truncation relies on.
+func saveModelAtomic(sys *pathcost.System, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := sys.SaveModel(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // buildSystem loads network+model from files, or synthesizes a city

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/gps"
+	"repro/internal/wal"
 )
 
 var (
@@ -74,6 +75,44 @@ func BenchmarkIngestThroughput(b *testing.B) {
 		lo := (i * batch) % len(held)
 		hi := min(lo+batch, len(held))
 		if _, err := sys.ApplyDeltas(held[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "deltas/sec")
+}
+
+// BenchmarkIngestWithWAL is BenchmarkIngestThroughput with a write-
+// ahead log attached: each iteration stages a 25-trajectory batch
+// (appending it to the WAL before the ack) and publishes the epoch
+// that folds it in. The acceptance bar is that durability costs less
+// than 2x the in-memory cycle — compare the deltas/sec metric against
+// BenchmarkIngestThroughput in the same run.
+func BenchmarkIngestWithWAL(b *testing.B) {
+	sys, held := epochBenchSetup(b)
+	l, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.AttachWAL(l)
+	defer func() {
+		// Detach so later benchmarks sharing the system stay in-memory.
+		sys.stageMu.Lock()
+		sys.wlog = nil
+		sys.walHigh = 0
+		sys.stageMu.Unlock()
+		l.Close()
+	}()
+	const batch = 25
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % len(held)
+		hi := min(lo+batch, len(held))
+		if acc, rej := sys.StageTrajectories(held[lo:hi]); acc != hi-lo || rej != 0 {
+			b.Fatalf("staged %d/%d, rejected %d", acc, hi-lo, rej)
+		}
+		if _, err := sys.PublishEpoch(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,7 +3,9 @@ package api
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	pathcost "repro"
 	"repro/internal/hist"
@@ -287,4 +289,41 @@ func CheckRoute(g *pathcost.Graph, req *RouteRequest) (pathcost.Method, error) {
 		return "", err
 	}
 	return m, nil
+}
+
+// --- deadline budgets --------------------------------------------------
+
+// BudgetHeader carries a request's remaining deadline budget in whole
+// milliseconds. The coordinator stamps it on every shard leg with the
+// budget left on its own clock, so a deadline set at the front door
+// bounds work end to end: coordinator wait, shard evaluation, and any
+// hedged retry all draw from the same allowance. Clients may set it
+// directly on /v1/batch and /v1/state (or any query endpoint) to cap
+// one request tighter than the server's -default-timeout.
+const BudgetHeader = "X-Budget-Ms"
+
+// ParseBudget reads a BudgetHeader value. It returns ok = false for an
+// absent (empty) header, and an error for anything that is not a
+// positive integer — a garbled budget must be rejected loudly, not
+// silently treated as unlimited.
+func ParseBudget(val string) (time.Duration, bool, error) {
+	if val == "" {
+		return 0, false, nil
+	}
+	ms, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false, fmt.Errorf("invalid %s %q: want a positive integer millisecond count", BudgetHeader, val)
+	}
+	return time.Duration(ms) * time.Millisecond, true, nil
+}
+
+// FormatBudget renders a remaining budget for BudgetHeader, rounding
+// up so a sub-millisecond remainder forwards as 1 rather than an
+// instantly-expired 0.
+func FormatBudget(d time.Duration) string {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatInt(int64(ms), 10)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -130,7 +131,7 @@ type factorRun struct {
 // set), everything else being folded into the accumulated-cost
 // dimension.
 func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histogram, EvalStats, error) {
-	out, st, err := h.evaluateMode(de, query, false)
+	out, st, err := h.evaluateMode(nil, de, query, false)
 	st.finalizeMC()
 	return out, st, err
 }
@@ -142,7 +143,7 @@ func (h *HybridGraph) Evaluate(de *Decomposition, query graph.Path) (*hist.Histo
 // for halved multiply bandwidth. Memo, synopsis and serialization
 // paths never use it — they require the exact kernel's byte-identity.
 func (h *HybridGraph) EvaluateQuantized(de *Decomposition, query graph.Path) (*hist.Histogram, EvalStats, error) {
-	out, st, err := h.evaluateMode(de, query, true)
+	out, st, err := h.evaluateMode(nil, de, query, true)
 	st.finalizeMC()
 	return out, st, err
 }
@@ -154,7 +155,7 @@ func (st *EvalStats) finalizeMC() {
 	}
 }
 
-func (h *HybridGraph) evaluateMode(de *Decomposition, query graph.Path, quant bool) (*hist.Histogram, EvalStats, error) {
+func (h *HybridGraph) evaluateMode(ctx context.Context, de *Decomposition, query graph.Path, quant bool) (*hist.Histogram, EvalStats, error) {
 	var st EvalStats
 	if err := de.Validate(query); err != nil {
 		return nil, st, err
@@ -180,7 +181,7 @@ func (h *HybridGraph) evaluateMode(de *Decomposition, query graph.Path, quant bo
 		return out, st, nil
 	}
 
-	state, err := h.runChainSteps(de, nil, 0, &st, nil, quant)
+	state, err := h.runChainSteps(ctx, de, nil, 0, &st, nil, quant)
 	if err != nil {
 		return nil, st, err
 	}
@@ -200,16 +201,27 @@ func (h *HybridGraph) evaluateMode(de *Decomposition, query graph.Path, quant bo
 // starting from `state` (nil to start fresh). It returns the final
 // folded state; intermediate states per factor are reported through
 // onStep when non-nil (used by the incremental routing estimator).
-func (h *HybridGraph) runChain(de *Decomposition, state *chainState, from int, st *EvalStats) (*chainState, error) {
-	return h.runChainSteps(de, state, from, st, nil, false)
+// A non-nil ctx bounds the chain: its deadline is checked before each
+// factor multiply, so a long evaluation stops burning CPU within one
+// factor of the caller's budget expiring.
+func (h *HybridGraph) runChain(ctx context.Context, de *Decomposition, state *chainState, from int, st *EvalStats) (*chainState, error) {
+	return h.runChainSteps(ctx, de, state, from, st, nil, false)
 }
 
-func (h *HybridGraph) runChainSteps(de *Decomposition, state *chainState, from int, st *EvalStats, onStep func(i int, s *chainState), quant bool) (*chainState, error) {
+func (h *HybridGraph) runChainSteps(ctx context.Context, de *Decomposition, state *chainState, from int, st *EvalStats, onStep func(i int, s *chainState), quant bool) (*chainState, error) {
 	// When the chain starts fresh and no observer keeps references to
 	// intermediate states, every state this loop creates dies as soon
 	// as the next one exists — recycle their histograms.
 	recycle := state == nil && from == 0 && onStep == nil
 	for i := from; i < len(de.Vars); i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if recycle && state != nil {
+					hist.PutMulti(state.m)
+				}
+				return nil, err
+			}
+		}
 		v := de.Vars[i]
 		fm, err := asMulti(v)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -71,6 +72,16 @@ type QueryResult struct {
 // path p departing at absolute time t (Section 4). The zero options
 // value runs the paper's OD method.
 func (h *HybridGraph) CostDistribution(p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
+	return h.CostDistributionCtx(nil, p, t, opt)
+}
+
+// CostDistributionCtx is CostDistribution bounded by ctx: the factor
+// chain checks the deadline before each multiply and returns ctx's
+// error once it expires. ctx travels as a parameter, never inside
+// QueryOptions or any cached state — cached PathStates outlive the
+// request that built them, so a stored context would poison later
+// queries. nil ctx means unbounded.
+func (h *HybridGraph) CostDistributionCtx(ctx context.Context, p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
 	if opt.Method == "" {
 		opt.Method = MethodOD
 	}
@@ -96,7 +107,7 @@ func (h *HybridGraph) CostDistribution(p graph.Path, t float64, opt QueryOptions
 	t1 := time.Now()
 	oi := t1.Sub(t0)
 
-	dist, stats, err := h.evaluateMode(de, p, opt.Quantized)
+	dist, stats, err := h.evaluateMode(ctx, de, p, opt.Quantized)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -106,6 +107,11 @@ type SegmentInput struct {
 	UI     TimeInterval
 	State  *ChainState
 	Opt    QueryOptions
+	// Ctx, when non-nil, bounds the segment's evaluation: the factor
+	// chain and edge derivations check its deadline as they go. It is
+	// request-scoped and ephemeral — never serialized with the state,
+	// never stored in anything that outlives the call.
+	Ctx context.Context
 }
 
 // SegmentResult is one segment's contribution: the accumulator-only
@@ -158,7 +164,7 @@ func (h *HybridGraph) EvaluateSegment(syn *SynopsisStore, memo *ConvMemo, in Seg
 		if in.UI.Lo != in.Depart || in.UI.Hi != in.Depart {
 			return nil, fmt.Errorf("core: a first segment must start from the point interval [depart, depart], got [%g, %g]", in.UI.Lo, in.UI.Hi)
 		}
-		st, err := h.PathStateWith(syn, memo, in.Path, in.Depart, opt)
+		st, err := h.pathStateCtx(in.Ctx, syn, memo, in.Path, in.Depart, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +206,7 @@ func (h *HybridGraph) EvaluateSegment(syn *SynopsisStore, memo *ConvMemo, in Seg
 	// evaluation performs right after its boundary fold. A non-nil
 	// start state disables runChain's recycling, so the caller's state
 	// (and anything sharing its buffers) stays untouched.
-	state, err := h.runChain(de, in.State.cs, 0, nil)
+	state, err := h.runChain(in.Ctx, de, in.State.cs, 0, nil)
 	if err != nil {
 		return nil, err
 	}

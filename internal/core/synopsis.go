@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -395,6 +396,16 @@ func (h *HybridGraph) ExtendPathWith(syn *SynopsisStore, m *ConvMemo, s *PathSta
 // every state derived past the base is offered to the memo so later
 // queries resume deeper still.
 func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*PathState, error) {
+	return h.pathStateCtx(nil, syn, m, p, t, opt)
+}
+
+// pathStateCtx is PathStateWith bounded by ctx: the deadline is
+// checked before each edge derivation, so evaluation stops within one
+// extend of the budget expiring. ctx stays a parameter — PathStates
+// land in the memo and synopsis and outlive the request, so a stored
+// context would poison every later query resuming from them. nil ctx
+// means unbounded.
+func (h *HybridGraph) pathStateCtx(ctx context.Context, syn *SynopsisStore, m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*PathState, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("core: cannot evaluate an empty path")
 	}
@@ -405,6 +416,11 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 		var st *PathState
 		var err error
 		for i, e := range p {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if i == 0 {
 				st, err = h.StartPath(e, t, opt)
 			} else {
@@ -455,6 +471,11 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 	}
 	var err error
 	for i := base; i < len(p); i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if st == nil {
 			st, err = h.StartPath(p[0], t, opt)
 		} else {
@@ -475,14 +496,21 @@ func (h *HybridGraph) PathStateWith(syn *SynopsisStore, m *ConvMemo, p graph.Pat
 // which applies unchanged (synopsis states were produced by the same
 // chain operations the memo stores).
 func (h *HybridGraph) CostDistributionWith(syn *SynopsisStore, m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
+	return h.CostDistributionWithCtx(nil, syn, m, p, t, opt)
+}
+
+// CostDistributionWithCtx is CostDistributionWith bounded by ctx (see
+// CostDistributionCtx for the deadline contract). nil ctx means
+// unbounded.
+func (h *HybridGraph) CostDistributionWithCtx(ctx context.Context, syn *SynopsisStore, m *ConvMemo, p graph.Path, t float64, opt QueryOptions) (*QueryResult, error) {
 	if opt.Method == "" {
 		opt.Method = MethodOD
 	}
 	if (syn == nil && m == nil) || !memoizable(opt.Method) {
-		return h.CostDistribution(p, t, opt)
+		return h.CostDistributionCtx(ctx, p, t, opt)
 	}
 	t0 := time.Now()
-	st, err := h.PathStateWith(syn, m, p, t, opt)
+	st, err := h.pathStateCtx(ctx, syn, m, p, t, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	pathcost "repro"
+	"repro/internal/api"
+)
+
+var (
+	deadlineSysOnce sync.Once
+	deadlineSysInst *pathcost.System
+	deadlineSysErr  error
+)
+
+// deadlineSystem is a private System for the deadline tests. The
+// package-shared testSystem carries a query cache some tests enable,
+// and a cached answer legitimately bypasses the admission gate — so a
+// request these tests expect to park behind a held slot could answer
+// 200 from cache instead. A system no test ever attaches a cache to
+// keeps every query on the gated path.
+func deadlineSystem(t *testing.T) *pathcost.System {
+	t.Helper()
+	deadlineSysOnce.Do(func() {
+		params := pathcost.DefaultParams()
+		params.Beta = 20
+		params.MaxRank = 4
+		deadlineSysInst, deadlineSysErr = pathcost.Synthesize(pathcost.SynthesizeConfig{
+			Preset: "test", Trips: 3000, Seed: 11, Params: params,
+		})
+	})
+	if deadlineSysErr != nil {
+		t.Fatal(deadlineSysErr)
+	}
+	return deadlineSysInst
+}
+
+// postWithBudget POSTs body with an api.BudgetHeader value ("" omits
+// the header) and returns the status code and decoded error message
+// (empty on 200).
+func postWithBudget(t *testing.T, url, budget string, body any) (int, string) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if budget != "" {
+		req.Header.Set(api.BudgetHeader, budget)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, ""
+	}
+	var e errorResponse
+	_ = json.Unmarshal(raw, &e)
+	return resp.StatusCode, e.Error
+}
+
+// TestDefaultTimeoutAnswers504 pins the deadline contract: when the
+// server-imposed deadline expires before an answer is ready, every
+// query endpoint answers 504 — a definitive outcome for a
+// still-listening client — instead of silently writing nothing (the
+// client-disconnect path) or mislabeling the timeout a 422/503. The
+// expiry is made deterministic by holding the only evaluation slot:
+// each request parks in the admission gate until its deadline fires.
+func TestDefaultTimeoutAnswers504(t *testing.T) {
+	sys := deadlineSystem(t)
+	s := New(sys, Config{MaxInFlight: 1, DefaultTimeout: 40 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	src, dst, budget := routePair(t, sys)
+
+	s.sem <- struct{}{} // saturate the gate: every request below parks
+	defer func() { <-s.sem }()
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"distribution", ts.URL + "/v1/distribution", distributionRequest{Path: path, Depart: depart}},
+		{"route", ts.URL + "/v1/route", routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}},
+		{"topk", ts.URL + "/v1/topk", topkRequest{RouteRequest: routeRequest{Source: src, Dest: dst, Depart: depart, Budget: budget}, K: 2}},
+		{"state", ts.URL + "/v1/state", stateRequest{Path: path, Depart: depart, UILo: depart, UIHi: depart}},
+	}
+	for _, tc := range cases {
+		status, msg := postWithBudget(t, tc.url, "", tc.body)
+		if status != http.StatusGatewayTimeout {
+			t.Errorf("%s: status %d (%s), want 504", tc.name, status, msg)
+		} else if !strings.Contains(msg, "deadline") {
+			t.Errorf("%s: 504 message %q does not mention the deadline", tc.name, msg)
+		}
+	}
+
+	// A batch whose deadline expires mid-request still answers 200:
+	// the envelope arrived, every entry inside carries its own 504.
+	var bresp batchResponse
+	status := postJSON(t, ts.URL+"/v1/batch", batchRequest{Queries: []batchQuery{
+		{Kind: "distribution", Path: path, Depart: depart},
+		{Kind: "route", Source: src, Dest: dst, Depart: depart, Budget: budget},
+	}}, &bresp)
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d, want 200 with per-entry 504s", status)
+	}
+	for i, res := range bresp.Results {
+		if res.Status != http.StatusGatewayTimeout {
+			t.Errorf("batch entry %d: status %d (%s), want 504", i, res.Status, res.Error)
+		}
+	}
+}
+
+// TestExpiredContextRejectedAtAdmission pins the born-expired path: a
+// request context whose deadline already passed is refused at the
+// gate with a 504 mapping, before any evaluation work starts.
+func TestExpiredContextRejectedAtAdmission(t *testing.T) {
+	sys := deadlineSystem(t)
+	s := New(sys, Config{MaxInFlight: 4})
+
+	path, depart := densePath(t, sys)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, status, msg := s.evalDistribution(ctx, sys, &distributionRequest{Path: path, Depart: depart})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expired-context distribution: status %d (%s), want 504", status, msg)
+	}
+	if !strings.Contains(msg, "deadline") {
+		t.Fatalf("504 message %q does not mention the deadline", msg)
+	}
+}
+
+// TestBudgetHeaderTightensDeadline pins the per-request budget: on a
+// server with no default timeout, an X-Budget-Ms header bounds the
+// request — here it expires while the request is parked behind a
+// saturated MaxInFlight gate, which must answer 504, not hang and not
+// write nothing.
+func TestBudgetHeaderTightensDeadline(t *testing.T) {
+	sys := deadlineSystem(t)
+	s := New(sys, Config{MaxInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	body := distributionRequest{Path: path, Depart: depart}
+
+	// Hold the only evaluation slot so the budgeted request queues.
+	s.sem <- struct{}{}
+	status, msg := postWithBudget(t, ts.URL+"/v1/distribution", "40", body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("budgeted request behind a full gate: status %d (%s), want 504", status, msg)
+	}
+	<-s.sem
+
+	// With the slot free and a generous budget the same request
+	// answers normally — the header codepath must not distort success.
+	if status, msg := postWithBudget(t, ts.URL+"/v1/distribution", "30000", body); status != http.StatusOK {
+		t.Fatalf("generous budget: status %d (%s), want 200", status, msg)
+	}
+}
+
+// TestBudgetHeaderGarbageRejected pins loud rejection: a budget that
+// does not parse as a positive integer is a 400, never silently
+// treated as unlimited.
+func TestBudgetHeaderGarbageRejected(t *testing.T) {
+	sys := testSystem(t)
+	s := New(sys, Config{MaxInFlight: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	path, depart := densePath(t, sys)
+	for _, bad := range []string{"soon", "-5", "0", "1.5"} {
+		status, msg := postWithBudget(t, ts.URL+"/v1/distribution", bad,
+			distributionRequest{Path: path, Depart: depart})
+		if status != http.StatusBadRequest {
+			t.Errorf("budget %q: status %d (%s), want 400", bad, status, msg)
+		}
+	}
+}
+
+// TestSlowLorisConnectionReaped pins the listener hygiene bound: a
+// connection that dribbles its request header forever is cut off at
+// ServeReadHeaderTimeout instead of holding a connection (and
+// eventually the whole accept loop's file descriptors) hostage.
+func TestSlowLorisConnectionReaped(t *testing.T) {
+	saved := ServeReadHeaderTimeout
+	ServeReadHeaderTimeout = 150 * time.Millisecond
+	defer func() { ServeReadHeaderTimeout = saved }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ServeListener(ctx, http.NotFoundHandler(), ln, 0) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Send a partial request line and then stall, never finishing the
+	// headers — the classic slow-loris hold.
+	if _, err := conn.Write([]byte("POST /v1/stats HTTP/1.1\r\nHost: x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || err == io.EOF {
+		// EOF is fine too: the server closed us. What must NOT happen
+		// is the read deadline firing with the connection still open.
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("connection still open %v after ReadHeaderTimeout %v: slow-loris hold not reaped",
+			5*time.Second, ServeReadHeaderTimeout)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("ServeListener: %v", err)
+	}
+}

@@ -64,6 +64,14 @@ type Config struct {
 	// latency behind the MaxInFlight gate — bounded. 0 disables
 	// shedding (requests queue until the client gives up).
 	MaxQueue int
+	// DefaultTimeout, when > 0, bounds every query request
+	// (/v1/distribution, /v1/route, /v1/topk, /v1/state, /v1/batch)
+	// with a server-imposed deadline: the evaluation context expires
+	// after this long and the request answers 504. A client can
+	// tighten (never widen) the bound per request with the
+	// api.BudgetHeader header. 0 leaves requests unbounded, the
+	// pre-deadline behavior.
+	DefaultTimeout time.Duration
 }
 
 // Server serves one pathcost.System over HTTP. Create with New, mount
@@ -188,13 +196,25 @@ func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Du
 // immediately, drain < 0 means the 10-second default). Extracted so
 // the sharded coordinator reuses the exact shutdown behavior for its
 // own handler tree.
+// Connection-hygiene bounds for every listener this package serves
+// (query servers and the sharded coordinator alike). ReadHeaderTimeout
+// caps how long a connection may dribble its request headers — the
+// classic slow-loris hold — and IdleTimeout reclaims keep-alive
+// connections that have gone quiet. Variables, not constants, so the
+// regression test can shrink them to something observable.
+var (
+	ServeReadHeaderTimeout = 10 * time.Second
+	ServeIdleTimeout       = 120 * time.Second
+)
+
 func ServeListener(ctx context.Context, handler http.Handler, ln net.Listener, drain time.Duration) error {
 	if drain < 0 {
 		drain = 10 * time.Second
 	}
 	srv := &http.Server{
 		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: ServeReadHeaderTimeout,
+		IdleTimeout:       ServeIdleTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -277,6 +297,40 @@ func (s *Server) shedIfOverloaded(w http.ResponseWriter) bool {
 	return true
 }
 
+// requestContext derives the evaluation context for one query
+// request: the tighter of Config.DefaultTimeout and the caller's
+// api.BudgetHeader header, layered on the request's own context so a
+// client disconnect still cancels immediately. ok = false means the
+// header was garbage and a 400 was already written. The returned
+// cancel must always be called.
+func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	budget, hasBudget, err := api.ParseBudget(r.Header.Get(api.BudgetHeader))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, false
+	}
+	timeout := s.cfg.DefaultTimeout
+	if hasBudget && (timeout <= 0 || budget < timeout) {
+		timeout = budget
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, true
+}
+
+// timeoutOutcome maps an evaluation that died with its context to the
+// right answer: a server-imposed (or header-requested) deadline is a
+// real outcome the client is still waiting to hear — 504; a vanished
+// client gets nothing (status 0).
+func (s *Server) timeoutOutcome(ctx context.Context) (int, string) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, "deadline exceeded"
+	}
+	return 0, ""
+}
+
 // --- JSON shapes -----------------------------------------------------
 //
 // The request/response shapes live in internal/api so the sharded
@@ -349,6 +403,7 @@ type statsResponse struct {
 	Planner  *plannerStatsJSON  `json:"planner,omitempty"`
 	Ingest   *ingestStatsJSON   `json:"ingest,omitempty"`
 	Epoch    *epochStatsJSON    `json:"epoch,omitempty"`
+	WAL      *walStatsJSON      `json:"wal,omitempty"`
 
 	UptimeS     float64 `json:"uptime_s"`
 	Served      uint64  `json:"served"`
@@ -432,6 +487,22 @@ type epochStatsJSON struct {
 	SynopsisDropped        int     `json:"synopsis_dropped"`
 }
 
+// walStatsJSON reports the attached ingest write-ahead log (present
+// only when the daemon runs with -wal): durability frontier, how much
+// of it a model checkpoint has retired, and the on-disk footprint.
+// append_errors counts StageTrajectories batches rejected because the
+// log could not persist them.
+type walStatsJSON struct {
+	LastSeq      uint64 `json:"last_seq"`
+	Checkpoint   uint64 `json:"checkpoint"`
+	Segments     int    `json:"segments"`
+	Bytes        int64  `json:"bytes"`
+	Appends      uint64 `json:"appends"`
+	Truncations  uint64 `json:"truncations"`
+	Discarded    int    `json:"discarded"`
+	AppendErrors uint64 `json:"append_errors"`
+}
+
 // --- validation helpers ----------------------------------------------
 //
 // Shared with the coordinator via internal/api so both tiers reject
@@ -469,7 +540,12 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 	if !s.readRequest(w, r, &req) {
 		return
 	}
-	resp, status, msg := s.evalDistribution(r.Context(), s.System(), &req)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	resp, status, msg := s.evalDistribution(ctx, s.System(), &req)
 	s.writeOutcome(w, status, msg, resp)
 }
 
@@ -481,7 +557,12 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !s.readRequest(w, r, &req) {
 		return
 	}
-	resp, status, msg := s.evalRoute(r.Context(), s.System(), &req)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	resp, status, msg := s.evalRoute(ctx, s.System(), &req)
 	s.writeOutcome(w, status, msg, resp)
 }
 
@@ -493,7 +574,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !s.readRequest(w, r, &req) {
 		return
 	}
-	resp, status, msg := s.evalTopK(r.Context(), s.System(), &req)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	resp, status, msg := s.evalTopK(ctx, s.System(), &req)
 	s.writeOutcome(w, status, msg, resp)
 }
 
@@ -510,7 +596,12 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if !s.readRequest(w, r, &req) {
 		return
 	}
-	resp, status, msg := s.evalState(r.Context(), s.System(), &req)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	resp, status, msg := s.evalState(ctx, s.System(), &req)
 	s.writeOutcome(w, status, msg, resp)
 }
 
@@ -543,7 +634,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sys := s.System()
-	ctx := r.Context()
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	results := make([]batchResult, len(req.Queries))
 	var handled []bool
 	if sys.Planner() != nil {
@@ -561,9 +656,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
-	if ctx.Err() != nil {
+	if r.Context().Err() != nil {
 		return // client gone; entries already accounted their shed work
 	}
+	// An expired server deadline is different from a vanished client:
+	// the caller is still listening, and every entry the deadline
+	// caught already carries its own 504.
 	s.writeJSON(w, http.StatusOK, batchResponse{Results: results})
 }
 
@@ -724,7 +822,8 @@ func (s *Server) evalRoute(ctx context.Context, sys *pathcost.System, req *route
 		return nil, http.StatusBadRequest, err.Error()
 	}
 	if !s.acquire(ctx) {
-		return nil, 0, ""
+		status, msg := s.timeoutOutcome(ctx)
+		return nil, status, msg
 	}
 	defer s.release() // deferred: a panicking evaluation must not leak the slot
 	res, err := sys.Route(pathcost.VertexID(req.Source), pathcost.VertexID(req.Dest),
@@ -755,7 +854,8 @@ func (s *Server) evalTopK(ctx context.Context, sys *pathcost.System, req *topkRe
 			fmt.Sprintf("k = %d out of range [1, %d]", req.K, s.cfg.MaxTopK)
 	}
 	if !s.acquire(ctx) {
-		return nil, 0, ""
+		status, msg := s.timeoutOutcome(ctx)
+		return nil, status, msg
 	}
 	defer s.release() // deferred: a panicking evaluation must not leak the slot
 	res, err := sys.TopKRoutes(pathcost.VertexID(req.Source), pathcost.VertexID(req.Dest),
@@ -806,7 +906,8 @@ func (s *Server) evalState(ctx context.Context, sys *pathcost.System, req *state
 		}
 	}
 	if !s.acquire(ctx) {
-		return nil, 0, ""
+		status, msg := s.timeoutOutcome(ctx)
+		return nil, status, msg
 	}
 	res, err := func() (*pathcost.SegmentResult, error) {
 		defer s.release() // deferred: a panicking evaluation must not leak the slot
@@ -816,6 +917,7 @@ func (s *Server) evalState(ctx context.Context, sys *pathcost.System, req *state
 			UI:     pathcost.TimeInterval{Lo: req.UILo, Hi: req.UIHi},
 			State:  st,
 			Opt:    pathcost.QueryOptions{Method: m},
+			Ctx:    ctx,
 		})
 	}()
 	if err != nil {
@@ -957,6 +1059,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		est := sys.EpochStats()
+		if wst, werrs, ok := sys.WALStats(); ok {
+			resp.WAL = &walStatsJSON{
+				LastSeq: wst.LastSeq, Checkpoint: wst.Checkpoint,
+				Segments: wst.Segments, Bytes: wst.Bytes,
+				Appends: wst.Appends, Truncations: wst.Truncations,
+				Discarded: wst.Discarded, AppendErrors: werrs,
+			}
+		}
 		resp.Epoch = &epochStatsJSON{
 			Seq:                    est.Seq,
 			Publishes:              est.Publishes,
@@ -1019,22 +1129,30 @@ func (s *Server) writeJSONUncounted(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// queryErrorStatus maps an evaluation failure to the right status:
-// a gate rejection means this caller's own client vanished while
-// queued (status 0, write nothing — PathDistributionGated already
-// retries rejections inherited from another request's leader, so the
-// 503 arm is a safety net); a leader panic shared by singleflight is
+// queryErrorStatus maps an evaluation failure to the right status: a
+// context error against an expired server deadline is a 504 (the
+// client is still listening and deserves a definitive answer), while
+// the same error from a vanished client writes nothing; a gate
+// rejection with a live context is a 503 safety net
+// (PathDistributionGated already retries rejections inherited from
+// another request's leader); a leader panic shared by singleflight is
 // a server fault (500, details withheld); anything else is a
 // valid-but-unanswerable query (422, e.g. sparse coverage or an
 // unreachable destination).
 func (s *Server) queryErrorStatus(ctx context.Context, err error) (int, string) {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if status, msg := s.timeoutOutcome(ctx); status != 0 {
+			return status, msg
+		}
 		// A follower unparked by its own dead caller context; the
 		// semaphore was never touched, so account the shed load here.
 		s.abandoned.Add(1)
 		return 0, ""
 	case errors.Is(err, pathcost.ErrGateRejected):
+		if status, msg := s.timeoutOutcome(ctx); status != 0 {
+			return status, msg
+		}
 		if ctx.Err() != nil {
 			return 0, "" // our own client is gone; no one is listening
 		}

@@ -23,6 +23,11 @@ import (
 type Config struct {
 	// Shards lists the shard base URLs, indexed by region: Shards[r]
 	// serves region r of the partition. Length must equal Partition.K.
+	// Each element may name a replica group — several URLs separated by
+	// "|" ("http://a:8080|http://b:8080") all serving the same region's
+	// model. Calls round-robin across a group's breaker-admitted
+	// replicas, and retry/hedge legs prefer a sibling replica, so one
+	// replica dying degrades nothing.
 	Shards []string
 	// MaxInFlight caps concurrently composed client requests (0 =
 	// server.DefaultMaxInFlight). One slot covers a request's whole
@@ -43,26 +48,111 @@ type Config struct {
 	// socket, garbage response — triggers the retry immediately,
 	// without waiting for the timer.
 	HedgeAfter time.Duration
-	// ProbeInterval spaces /healthz probes per shard (0 = 2s,
-	// negative disables probing). Probes are advisory: they feed
-	// /v1/stats and /metrics, but every query call is still attempted
-	// against its shard, so a recovered shard serves again on the
-	// next request with no unfencing step.
+	// ProbeInterval spaces /healthz probes per replica (0 = 2s,
+	// negative disables probing). Probes feed /v1/stats and /metrics,
+	// and a successful probe closes a replica's circuit breaker early —
+	// recovery never waits longer than one probe interval.
 	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive leg-failure count that opens
+	// a replica's circuit breaker (0 = 3, negative disables breaking).
+	// An open breaker routes new calls to sibling replicas for
+	// BreakerCooldown, then admits one half-open trial leg; a success
+	// closes it, a failure re-opens it for another cooldown.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker deflects a replica's
+	// traffic before the half-open trial (0 = 1s).
+	BreakerCooldown time.Duration
+	// DefaultTimeout, when > 0, bounds every client request with an
+	// end-to-end deadline: the composition context expires after this
+	// long and the request answers 504. The remaining budget is
+	// forwarded to every shard leg as the api.BudgetHeader header, so
+	// shards never burn evaluation time an expired caller cannot use.
+	// Clients tighten (never widen) the bound per request with the
+	// same header. 0 leaves requests unbounded.
+	DefaultTimeout time.Duration
 	// Transport overrides the HTTP transport (tests inject failures
 	// here). nil means http.DefaultTransport.
 	Transport http.RoundTripper
 }
 
-// shardState is one shard's connection bookkeeping.
-type shardState struct {
-	region        int
+// replicaState is one replica's connection bookkeeping plus its
+// circuit breaker: consecFails counts leg failures since the last
+// success, openUntil (unix nanos) fences the replica out while > now.
+type replicaState struct {
 	base          string
 	healthy       atomic.Bool
 	probes        atomic.Uint64
 	probeFailures atomic.Uint64
 	calls         atomic.Uint64
 	callFailures  atomic.Uint64
+	consecFails   atomic.Uint32
+	openUntil     atomic.Int64
+	breakerTrips  atomic.Uint64
+}
+
+// admitted reports whether the breaker lets a leg through at t. Once
+// the cooldown elapses the breaker is half-open: legs flow again, and
+// the first one decides whether it closes (noteSuccess) or re-opens
+// (noteFailure — consecFails is still past threshold).
+func (rs *replicaState) admitted(t time.Time) bool {
+	open := rs.openUntil.Load()
+	return open == 0 || t.UnixNano() >= open
+}
+
+func (rs *replicaState) noteSuccess() {
+	rs.consecFails.Store(0)
+	rs.openUntil.Store(0)
+	rs.healthy.Store(true)
+}
+
+func (rs *replicaState) noteFailure(cfg *Config, t time.Time) {
+	rs.callFailures.Add(1)
+	rs.healthy.Store(false)
+	if cfg.BreakerThreshold < 0 {
+		return
+	}
+	if n := rs.consecFails.Add(1); int(n) >= cfg.BreakerThreshold {
+		rs.breakerTrips.Add(1)
+		rs.openUntil.Store(t.Add(cfg.BreakerCooldown).UnixNano())
+	}
+}
+
+// shardState is one region's replica group.
+type shardState struct {
+	region   int
+	replicas []*replicaState
+	rr       atomic.Uint64
+}
+
+// healthy reports whether any replica in the group is believed up.
+func (ss *shardState) healthy() bool {
+	for _, rs := range ss.replicas {
+		if rs.healthy.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates returns the breaker-admitted replicas rotated by the
+// round-robin cursor. When every breaker is open the group fails open
+// — all replicas are candidates — because refusing to try at all
+// would turn a transient outage into a permanent one.
+func (ss *shardState) candidates(t time.Time) []*replicaState {
+	admitted := make([]*replicaState, 0, len(ss.replicas))
+	for _, rs := range ss.replicas {
+		if rs.admitted(t) {
+			admitted = append(admitted, rs)
+		}
+	}
+	if len(admitted) == 0 {
+		admitted = append(admitted, ss.replicas...)
+	}
+	if len(admitted) > 1 {
+		off := int(ss.rr.Add(1)) % len(admitted)
+		admitted = append(admitted[off:len(admitted):len(admitted)], admitted[:off]...)
+	}
+	return admitted
 }
 
 // Coordinator serves the single-process HTTP API over a fleet of
@@ -118,6 +208,12 @@ func New(g *pathcost.Graph, part *Partition, cfg Config) (*Coordinator, error) {
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = 2 * time.Second
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
 	c := &Coordinator{
 		cfg:    cfg,
 		g:      g,
@@ -127,9 +223,17 @@ func New(g *pathcost.Graph, part *Partition, cfg Config) (*Coordinator, error) {
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		start:  time.Now(),
 	}
-	for r, base := range cfg.Shards {
-		ss := &shardState{region: r, base: strings.TrimRight(base, "/")}
-		ss.healthy.Store(true) // assume up until a probe or call says otherwise
+	for r, group := range cfg.Shards {
+		ss := &shardState{region: r}
+		for _, base := range strings.Split(group, "|") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				return nil, fmt.Errorf("shard: region %d has an empty replica URL in %q", r, group)
+			}
+			rs := &replicaState{base: strings.TrimRight(base, "/")}
+			rs.healthy.Store(true) // assume up until a probe or call says otherwise
+			ss.replicas = append(ss.replicas, rs)
+		}
 		c.shards = append(c.shards, ss)
 	}
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
@@ -163,17 +267,20 @@ func (c *Coordinator) RunListener(ctx context.Context, ln net.Listener, drain ti
 	defer cancel()
 	if c.cfg.ProbeInterval > 0 {
 		for _, ss := range c.shards {
-			go c.probeLoop(pctx, ss)
+			for _, rs := range ss.replicas {
+				go c.probeLoop(pctx, rs)
+			}
 		}
 	}
 	return server.ServeListener(ctx, c.mux, ln, drain)
 }
 
-// probeLoop polls one shard's /healthz. The verdict is advisory
-// visibility, not a circuit breaker: calls keep flowing to an
-// unhealthy shard (each protected by its own hedged retry), which is
-// what makes recovery automatic.
-func (c *Coordinator) probeLoop(ctx context.Context, ss *shardState) {
+// probeLoop polls one replica's /healthz. A failed probe marks the
+// replica unhealthy (visibility only — it does not trip the breaker);
+// a successful probe closes its breaker, so a recovered replica
+// rejoins the rotation within one probe interval even if no query has
+// tried it since the cooldown.
+func (c *Coordinator) probeLoop(ctx context.Context, rs *replicaState) {
 	t := time.NewTicker(c.cfg.ProbeInterval)
 	defer t.Stop()
 	for {
@@ -182,14 +289,14 @@ func (c *Coordinator) probeLoop(ctx context.Context, ss *shardState) {
 			return
 		case <-t.C:
 		}
-		c.probeOnce(ctx, ss)
+		c.probeOnce(ctx, rs)
 	}
 }
 
-func (c *Coordinator) probeOnce(ctx context.Context, ss *shardState) {
-	ss.probes.Add(1)
+func (c *Coordinator) probeOnce(ctx context.Context, rs *replicaState) {
+	rs.probes.Add(1)
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, ss.base+"/healthz", nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, rs.base+"/healthz", nil)
 	if err == nil {
 		var resp *http.Response
 		resp, err = c.client.Do(req)
@@ -203,11 +310,11 @@ func (c *Coordinator) probeOnce(ctx context.Context, ss *shardState) {
 	}
 	cancel()
 	if err != nil {
-		ss.probeFailures.Add(1)
-		ss.healthy.Store(false)
+		rs.probeFailures.Add(1)
+		rs.healthy.Store(false)
 		return
 	}
-	ss.healthy.Store(true)
+	rs.noteSuccess()
 }
 
 // --- admission ---------------------------------------------------------
@@ -325,6 +432,16 @@ func (c *Coordinator) process(ctx context.Context, queries []api.BatchQuery) []a
 	}
 	out := make([]api.BatchResult, len(pend))
 	for i, p := range pend {
+		if !p.done {
+			// The context died between waves, before this entry's next
+			// runWave could settle it. A deadline is a definitive 504;
+			// a cancellation's result is never written anyway.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				p.fail(http.StatusGatewayTimeout, "deadline exceeded")
+			} else {
+				p.fail(http.StatusServiceUnavailable, "composition abandoned")
+			}
+		}
 		out[i] = p.res
 	}
 	return out
@@ -404,6 +521,14 @@ func (c *Coordinator) runWave(ctx context.Context, region int, ps []*pendingQuer
 	}
 	bresp, err := c.shardBatch(ctx, c.shards[region], breq)
 	if err != nil {
+		// The composition's own deadline expiring is the caller's 504,
+		// not a shard fault — the replicas may be perfectly healthy.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			for _, p := range ps {
+				p.fail(http.StatusGatewayTimeout, "deadline exceeded")
+			}
+			return
+		}
 		// This shard is down for this wave; its entries fail 503, and
 		// nothing else does — sibling shards' waves proceed untouched.
 		for _, p := range ps {
@@ -469,62 +594,85 @@ func (c *Coordinator) applyResult(p *pendingQuery, res *api.BatchResult, region 
 	}
 }
 
-// shardBatch posts one batch to one shard with hedged retry: a second
-// leg races the first when it is slow (HedgeAfter) or starts the
-// moment the first fails; the first decodable answer wins. Legs are
-// whole-call attempts — connect, send, read, decode — so a shard that
-// answers garbage counts as failed just like one that answers nothing.
+// shardBatch posts one batch to one replica of ss's group with hedged
+// retry: legs race whole-call attempts — connect, send, read, decode —
+// so a replica that answers garbage counts as failed just like one
+// that answers nothing. The first leg goes to the round-robin pick
+// among breaker-admitted replicas; a leg that fails outright launches
+// the next leg immediately against the NEXT replica in rotation, and a
+// leg that is merely slow (HedgeAfter) gets raced the same way. With
+// replicas configured the call may try every sibling before giving up,
+// so a single replica's death costs one leg's latency, never a 503.
 func (c *Coordinator) shardBatch(ctx context.Context, ss *shardState, breq *api.BatchRequest) (*api.BatchResponse, error) {
-	ss.calls.Add(1)
 	body, err := json.Marshal(breq)
 	if err != nil {
 		return nil, err
 	}
 	type legResult struct {
+		rs   *replicaState
 		resp *api.BatchResponse
 		err  error
 	}
-	leg := func() legResult {
+	leg := func(rs *replicaState) legResult {
 		lctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 		defer cancel()
-		req, err := http.NewRequestWithContext(lctx, http.MethodPost, ss.base+"/v1/batch", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(lctx, http.MethodPost, rs.base+"/v1/batch", bytes.NewReader(body))
 		if err != nil {
-			return legResult{err: err}
+			return legResult{rs: rs, err: err}
 		}
 		req.Header.Set("Content-Type", "application/json")
+		// Forward the leg's remaining budget so the shard stops
+		// evaluating the moment this leg's clock (which already folds
+		// in the caller's end-to-end deadline) runs out.
+		if dl, ok := lctx.Deadline(); ok {
+			req.Header.Set(api.BudgetHeader, api.FormatBudget(time.Until(dl)))
+		}
 		hresp, err := c.client.Do(req)
 		if err != nil {
-			return legResult{err: err}
+			return legResult{rs: rs, err: err}
 		}
 		defer hresp.Body.Close()
 		raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
 		if err != nil {
-			return legResult{err: err}
+			return legResult{rs: rs, err: err}
 		}
 		if hresp.StatusCode != http.StatusOK {
-			return legResult{err: fmt.Errorf("shard answered %d: %s", hresp.StatusCode, firstLine(raw))}
+			return legResult{rs: rs, err: fmt.Errorf("shard answered %d: %s", hresp.StatusCode, firstLine(raw))}
 		}
 		var bresp api.BatchResponse
 		if err := json.Unmarshal(raw, &bresp); err != nil {
-			return legResult{err: fmt.Errorf("undecodable shard response: %v", err)}
+			return legResult{rs: rs, err: fmt.Errorf("undecodable shard response: %v", err)}
 		}
 		if len(bresp.Results) != len(breq.Queries) {
-			return legResult{err: fmt.Errorf("shard answered %d results for %d queries", len(bresp.Results), len(breq.Queries))}
+			return legResult{rs: rs, err: fmt.Errorf("shard answered %d results for %d queries", len(bresp.Results), len(breq.Queries))}
 		}
-		return legResult{resp: &bresp}
+		return legResult{rs: rs, resp: &bresp}
 	}
-	ch := make(chan legResult, 2)
-	launch := func() { go func() { ch <- leg() }() }
+	cands := ss.candidates(time.Now())
+	// At least two legs even with one replica (the classic same-target
+	// hedge); with more replicas, enough legs to try each sibling once.
+	maxLegs := max(2, len(cands))
+	ch := make(chan legResult, maxLegs)
+	launched := 0
+	launch := func() {
+		rs := cands[launched%len(cands)]
+		launched++
+		rs.calls.Add(1)
+		go func() { ch <- leg(rs) }()
+	}
 	launch()
 	outstanding := 1
-	hedged := false
-	hedge := func() {
-		if !hedged {
-			hedged = true
-			outstanding++
-			c.hedges.Add(1)
-			launch()
+	next := func(hedge bool) {
+		// A retry or hedge leg draws on the caller's remaining budget;
+		// once the context is dead there is no budget left to spend.
+		if launched >= maxLegs || ctx.Err() != nil {
+			return
 		}
+		if hedge {
+			c.hedges.Add(1)
+		}
+		outstanding++
+		launch()
 	}
 	timer := time.NewTimer(c.cfg.HedgeAfter)
 	defer timer.Stop()
@@ -534,19 +682,18 @@ func (c *Coordinator) shardBatch(ctx context.Context, ss *shardState, breq *api.
 		case lr := <-ch:
 			outstanding--
 			if lr.err == nil {
-				ss.healthy.Store(true)
+				lr.rs.noteSuccess()
 				return lr.resp, nil
 			}
 			lastErr = lr.err
-			hedge() // a failed first leg retries immediately
+			lr.rs.noteFailure(&c.cfg, time.Now())
+			next(false) // a failed leg retries immediately on the next replica
 		case <-timer.C:
-			hedge() // a slow first leg races a second
+			next(true) // a slow leg races the next replica
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
-	ss.callFailures.Add(1)
-	ss.healthy.Store(false)
 	return nil, lastErr
 }
 

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -25,6 +26,28 @@ func (c *Coordinator) readRequest(w http.ResponseWriter, r *http.Request, dst an
 		return false
 	}
 	return true
+}
+
+// requestContext derives the composition context for one request: the
+// tighter of Config.DefaultTimeout and the caller's api.BudgetHeader
+// header, layered on the request's own context. ok = false means the
+// header was garbage and a 400 was already written. The returned
+// cancel must always be called.
+func (c *Coordinator) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	budget, hasBudget, err := api.ParseBudget(r.Header.Get(api.BudgetHeader))
+	if err != nil {
+		c.writeError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, false
+	}
+	timeout := c.cfg.DefaultTimeout
+	if hasBudget && (timeout <= 0 || budget < timeout) {
+		timeout = budget
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, true
 }
 
 func (c *Coordinator) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -61,6 +84,9 @@ func (c *Coordinator) writeEntryOutcome(w http.ResponseWriter, res *api.BatchRes
 // admission slot.
 func (c *Coordinator) processOne(ctx context.Context, q api.BatchQuery) (api.BatchResult, bool) {
 	if !c.acquire(ctx) {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return api.BatchResult{Status: http.StatusGatewayTimeout, Error: "deadline exceeded"}, true
+		}
 		return api.BatchResult{}, false
 	}
 	defer c.release()
@@ -86,7 +112,12 @@ func (c *Coordinator) handleDistribution(w http.ResponseWriter, r *http.Request)
 	if !c.readRequest(w, r, &req) {
 		return
 	}
-	res, ok := c.processOne(r.Context(), api.BatchQuery{
+	ctx, cancel, ok := c.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, ok := c.processOne(ctx, api.BatchQuery{
 		Kind: "distribution", Path: req.Path, Depart: req.Depart,
 		Method: req.Method, Budget: req.Budget,
 	})
@@ -104,7 +135,12 @@ func (c *Coordinator) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !c.readRequest(w, r, &req) {
 		return
 	}
-	res, ok := c.processOne(r.Context(), api.BatchQuery{
+	ctx, cancel, ok := c.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, ok := c.processOne(ctx, api.BatchQuery{
 		Kind: "route", Source: req.Source, Dest: req.Dest,
 		Depart: req.Depart, Budget: req.Budget, Method: req.Method,
 	})
@@ -122,7 +158,12 @@ func (c *Coordinator) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !c.readRequest(w, r, &req) {
 		return
 	}
-	res, ok := c.processOne(r.Context(), api.BatchQuery{
+	ctx, cancel, ok := c.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, ok := c.processOne(ctx, api.BatchQuery{
 		Kind: "topk", Source: req.Source, Dest: req.Dest,
 		Depart: req.Depart, Budget: req.Budget, Method: req.Method, K: req.K,
 	})
@@ -149,34 +190,53 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch has %d queries, cap is %d", len(req.Queries), c.cfg.MaxBatch))
 		return
 	}
-	ctx := r.Context()
+	ctx, cancel, ok := c.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	if !c.acquire(ctx) {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			c.writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		}
 		return
 	}
 	results := func() []api.BatchResult {
 		defer c.release()
 		return c.process(ctx, req.Queries)
 	}()
-	if ctx.Err() != nil {
-		return
+	if r.Context().Err() != nil {
+		return // client gone; an expired deadline still answers (per-entry 504s)
 	}
 	c.writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
 }
 
 // --- stats -------------------------------------------------------------
 
-// coordShardStatus is one shard's health as the coordinator sees it.
-type coordShardStatus struct {
-	Region        int    `json:"region"`
+// coordReplicaStatus is one replica's health and breaker state as the
+// coordinator sees it.
+type coordReplicaStatus struct {
 	Base          string `json:"base"`
 	Healthy       bool   `json:"healthy"`
 	Probes        uint64 `json:"probes"`
 	ProbeFailures uint64 `json:"probe_failures"`
 	Calls         uint64 `json:"calls"`
 	CallFailures  uint64 `json:"call_failures"`
-	// Epoch is the shard's served model epoch, fetched live from its
-	// /v1/stats; absent when the shard is unreachable or runs with
-	// ingestion off.
+	// BreakerOpen reports a breaker currently fencing this replica out
+	// of the rotation; BreakerTrips counts how often it has opened.
+	BreakerOpen  bool   `json:"breaker_open"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+}
+
+// coordShardStatus is one region's replica group. Healthy is the
+// group verdict: true while any replica is believed up.
+type coordShardStatus struct {
+	Region   int                  `json:"region"`
+	Healthy  bool                 `json:"healthy"`
+	Replicas []coordReplicaStatus `json:"replicas"`
+	// Epoch is the region's served model epoch, fetched live from the
+	// first answering replica's /v1/stats; absent when the whole group
+	// is unreachable or runs with ingestion off.
 	Epoch *uint64 `json:"epoch,omitempty"`
 }
 
@@ -209,15 +269,23 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight: c.cfg.MaxInFlight,
 		MaxQueue:    c.cfg.MaxQueue,
 	}
+	now := time.Now()
 	for _, ss := range c.shards {
 		st := coordShardStatus{
-			Region:        ss.region,
-			Base:          ss.base,
-			Healthy:       ss.healthy.Load(),
-			Probes:        ss.probes.Load(),
-			ProbeFailures: ss.probeFailures.Load(),
-			Calls:         ss.calls.Load(),
-			CallFailures:  ss.callFailures.Load(),
+			Region:  ss.region,
+			Healthy: ss.healthy(),
+		}
+		for _, rs := range ss.replicas {
+			st.Replicas = append(st.Replicas, coordReplicaStatus{
+				Base:          rs.base,
+				Healthy:       rs.healthy.Load(),
+				Probes:        rs.probes.Load(),
+				ProbeFailures: rs.probeFailures.Load(),
+				Calls:         rs.calls.Load(),
+				CallFailures:  rs.callFailures.Load(),
+				BreakerOpen:   !rs.admitted(now),
+				BreakerTrips:  rs.breakerTrips.Load(),
+			})
 		}
 		st.Epoch = c.fetchEpoch(r.Context(), ss)
 		resp.Shards = append(resp.Shards, st)
@@ -225,12 +293,22 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	c.writeJSONUncounted(w, http.StatusOK, resp)
 }
 
-// fetchEpoch asks one shard's /v1/stats for its epoch sequence; nil
-// when the shard is down or serves without an epoch block.
+// fetchEpoch asks a region's /v1/stats for its epoch sequence, trying
+// replicas in breaker-preference order; nil when the whole group is
+// down or serves without an epoch block.
 func (c *Coordinator) fetchEpoch(ctx context.Context, ss *shardState) *uint64 {
+	for _, rs := range ss.candidates(time.Now()) {
+		if seq := c.fetchReplicaEpoch(ctx, rs); seq != nil {
+			return seq
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) fetchReplicaEpoch(ctx context.Context, rs *replicaState) *uint64 {
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, ss.base+"/v1/stats", nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, rs.base+"/v1/stats", nil)
 	if err != nil {
 		return nil
 	}
@@ -272,19 +350,47 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP pathcost_coordinator_uptime_seconds Seconds since the coordinator started.\n"+
 		"# TYPE pathcost_coordinator_uptime_seconds gauge\npathcost_coordinator_uptime_seconds %g\n",
 		time.Since(c.start).Seconds())
-	fmt.Fprintf(&b, "# HELP pathcost_coordinator_shard_healthy Last known shard health (1 healthy, 0 not).\n"+
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_shard_healthy Last known group health per region (1 while any replica is up).\n"+
 		"# TYPE pathcost_coordinator_shard_healthy gauge\n")
 	for _, ss := range c.shards {
 		v := 0
-		if ss.healthy.Load() {
+		if ss.healthy() {
 			v = 1
 		}
 		fmt.Fprintf(&b, "pathcost_coordinator_shard_healthy{region=%q} %d\n", fmt.Sprint(ss.region), v)
 	}
-	fmt.Fprintf(&b, "# HELP pathcost_coordinator_shard_calls_total Batch calls per shard.\n"+
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_replica_healthy Last known replica health (1 healthy, 0 not).\n"+
+		"# TYPE pathcost_coordinator_replica_healthy gauge\n")
+	for _, ss := range c.shards {
+		for _, rs := range ss.replicas {
+			v := 0
+			if rs.healthy.Load() {
+				v = 1
+			}
+			fmt.Fprintf(&b, "pathcost_coordinator_replica_healthy{region=%q,replica=%q} %d\n",
+				fmt.Sprint(ss.region), rs.base, v)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_shard_calls_total Call legs per replica.\n"+
 		"# TYPE pathcost_coordinator_shard_calls_total counter\n")
 	for _, ss := range c.shards {
-		fmt.Fprintf(&b, "pathcost_coordinator_shard_calls_total{region=%q} %d\n", fmt.Sprint(ss.region), ss.calls.Load())
+		for _, rs := range ss.replicas {
+			fmt.Fprintf(&b, "pathcost_coordinator_shard_calls_total{region=%q,replica=%q} %d\n",
+				fmt.Sprint(ss.region), rs.base, rs.calls.Load())
+		}
+	}
+	fmt.Fprintf(&b, "# HELP pathcost_coordinator_breaker_open Replica circuit breaker state (1 open, 0 closed).\n"+
+		"# TYPE pathcost_coordinator_breaker_open gauge\n")
+	now := time.Now()
+	for _, ss := range c.shards {
+		for _, rs := range ss.replicas {
+			v := 0
+			if !rs.admitted(now) {
+				v = 1
+			}
+			fmt.Fprintf(&b, "pathcost_coordinator_breaker_open{region=%q,replica=%q} %d\n",
+				fmt.Sprint(ss.region), rs.base, v)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

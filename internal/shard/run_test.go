@@ -61,7 +61,7 @@ func TestCoordinatorRunListenerServesAndProbes(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if coord.shards[0].probes.Load() > 0 && coord.shards[1].probes.Load() > 0 {
+		if coord.shards[0].replicas[0].probes.Load() > 0 && coord.shards[1].replicas[0].probes.Load() > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -70,7 +70,7 @@ func TestCoordinatorRunListenerServesAndProbes(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	for r := range coord.shards {
-		if !coord.shards[r].healthy.Load() {
+		if !coord.shards[r].healthy() {
 			t.Errorf("shard %d unhealthy after live probes", r)
 		}
 	}

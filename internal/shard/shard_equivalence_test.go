@@ -272,10 +272,15 @@ func TestCoordinatorStatsAndMetrics(t *testing.T) {
 	var stats struct {
 		K      int `json:"k"`
 		Shards []struct {
-			Region  int    `json:"region"`
-			Healthy bool   `json:"healthy"`
-			Calls   uint64 `json:"calls"`
-			Epoch   *uint64
+			Region   int  `json:"region"`
+			Healthy  bool `json:"healthy"`
+			Replicas []struct {
+				Base        string `json:"base"`
+				Healthy     bool   `json:"healthy"`
+				Calls       uint64 `json:"calls"`
+				BreakerOpen bool   `json:"breaker_open"`
+			} `json:"replicas"`
+			Epoch *uint64
 		} `json:"shards"`
 		Served uint64 `json:"served"`
 	}
@@ -291,7 +296,13 @@ func TestCoordinatorStatsAndMetrics(t *testing.T) {
 		if !ss.Healthy {
 			t.Errorf("shard %d reported unhealthy in a healthy fleet", ss.Region)
 		}
-		totalCalls += ss.Calls
+		if len(ss.Replicas) != 1 {
+			t.Fatalf("shard %d lists %d replicas, want 1", ss.Region, len(ss.Replicas))
+		}
+		if ss.Replicas[0].BreakerOpen {
+			t.Errorf("shard %d replica breaker open in a healthy fleet", ss.Region)
+		}
+		totalCalls += ss.Replicas[0].Calls
 	}
 	if totalCalls == 0 {
 		t.Error("no shard calls recorded after a cross-region query")
@@ -323,17 +334,17 @@ func TestCoordinatorStatsAndMetrics(t *testing.T) {
 // it back.
 func TestProbeObservesShardDeath(t *testing.T) {
 	f := startFleet(t, 2, nil)
-	ss := f.coord.shards[0]
-	f.coord.probeOnce(t.Context(), ss)
-	if !ss.healthy.Load() {
+	rs := f.coord.shards[0].replicas[0]
+	f.coord.probeOnce(t.Context(), rs)
+	if !rs.healthy.Load() {
 		t.Fatal("live shard probed unhealthy")
 	}
 	f.shardTS[0].Close()
-	f.coord.probeOnce(t.Context(), ss)
-	if ss.healthy.Load() {
+	f.coord.probeOnce(t.Context(), rs)
+	if rs.healthy.Load() {
 		t.Fatal("dead shard probed healthy")
 	}
-	if ss.probes.Load() != 2 || ss.probeFailures.Load() != 1 {
-		t.Fatalf("probe counters = %d/%d, want 2/1", ss.probes.Load(), ss.probeFailures.Load())
+	if rs.probes.Load() != 2 || rs.probeFailures.Load() != 1 {
+		t.Fatalf("probe counters = %d/%d, want 2/1", rs.probes.Load(), rs.probeFailures.Load())
 	}
 }

@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/gps"
+	"repro/internal/graph"
+)
+
+// Payload encoding for one Record, little-endian throughout:
+//
+//	seq    uint64
+//	count  uint32                 trajectories in the batch
+//	per trajectory:
+//	  id      uint64 (int64 bits)
+//	  depart  uint64 (float64 bits)
+//	  nedges  uint32
+//	  edges   [nedges]uint32      (EdgeID values)
+//	  costs   [nedges]uint64      (float64 bits)
+//	  emflag  uint8               1 when emissions follow
+//	  emis    [nedges]uint64      (float64 bits, emflag == 1 only)
+//
+// Floats travel as raw bits so a replayed trajectory is bit-identical
+// to the staged one — the recovery differential test compares model
+// bytes, which any rounding would break.
+
+// maxBatchEdges bounds the per-trajectory edge count a decoder will
+// allocate for; real paths are capped far lower by the API layer.
+const maxBatchEdges = 1 << 20
+
+func encodePayload(seq uint64, batch []*gps.Matched) []byte {
+	n := 12
+	for _, m := range batch {
+		n += 8 + 8 + 4 + len(m.Path)*12 + 1
+		if m.Emissions != nil {
+			n += len(m.Path) * 8
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
+	for _, m := range batch {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Depart))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Path)))
+		for _, e := range m.Path {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e))
+		}
+		for _, c := range m.EdgeCosts {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+		}
+		if m.Emissions != nil {
+			buf = append(buf, 1)
+			for _, c := range m.Emissions {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// payloadReader is a bounds-checked cursor over untrusted bytes.
+type payloadReader struct {
+	data []byte
+	off  int
+	bad  bool
+}
+
+func (r *payloadReader) u8() uint8 {
+	if r.bad || r.off+1 > len(r.data) {
+		r.bad = true
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.bad || r.off+4 > len(r.data) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.data) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func decodePayload(payload []byte) (Record, bool) {
+	r := &payloadReader{data: payload}
+	rec := Record{Seq: r.u64()}
+	count := r.u32()
+	// Reject batch counts the remaining bytes cannot possibly hold
+	// before allocating (each trajectory is ≥ 21 bytes).
+	if r.bad || int(count) > (len(payload)-r.off)/21+1 {
+		return Record{}, false
+	}
+	rec.Batch = make([]*gps.Matched, 0, count)
+	for i := uint32(0); i < count; i++ {
+		m := &gps.Matched{
+			ID:     int64(r.u64()),
+			Depart: math.Float64frombits(r.u64()),
+		}
+		nedges := r.u32()
+		if r.bad || nedges > maxBatchEdges || int(nedges) > (len(payload)-r.off)/12+1 {
+			return Record{}, false
+		}
+		m.Path = make(graph.Path, nedges)
+		for j := range m.Path {
+			m.Path[j] = graph.EdgeID(r.u32())
+		}
+		m.EdgeCosts = make([]float64, nedges)
+		for j := range m.EdgeCosts {
+			m.EdgeCosts[j] = math.Float64frombits(r.u64())
+		}
+		if r.u8() == 1 {
+			m.Emissions = make([]float64, nedges)
+			for j := range m.Emissions {
+				m.Emissions[j] = math.Float64frombits(r.u64())
+			}
+		}
+		if r.bad {
+			return Record{}, false
+		}
+		rec.Batch = append(rec.Batch, m)
+	}
+	if r.off != len(payload) {
+		return Record{}, false
+	}
+	return rec, true
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/traffic"
 	"repro/internal/trajgen"
+	"repro/internal/wal"
 )
 
 // Re-exported types so callers need only this package for common use.
@@ -189,9 +190,24 @@ type System struct {
 	// never taken by queries.
 	pubMu sync.Mutex
 	// stageMu guards the staged delta buffer (trajectories accepted by
-	// StageTrajectories and not yet published).
-	stageMu sync.Mutex
-	staged  []*Matched
+	// StageTrajectories and not yet published) and the WAL bookkeeping
+	// that shadows it: wlog (when attached), walHigh (the WAL sequence
+	// covering everything staged so far) and walErrors. Appending to
+	// the WAL and to staged under one critical section keeps their
+	// orders identical, which is what makes replay equivalent to the
+	// uninterrupted staging history.
+	stageMu   sync.Mutex
+	staged    []*Matched
+	wlog      *wal.Log
+	walHigh   uint64
+	walErrors uint64
+	// checkpointFn, when non-nil, persists the freshly published model;
+	// PublishEpoch truncates the WAL only after it succeeds. Without a
+	// checkpointer the WAL retains every record, and recovery replays
+	// them all against the base model — exact-mode builds are
+	// batching-invariant, so both configurations recover the same
+	// bytes. Set via SetWALCheckpoint while holding no locks.
+	checkpointFn func() error
 	// decayBits holds math.Float64bits of the decay halflife in
 	// seconds (0 = exact mode); see SetDecayHalflife.
 	decayBits atomic.Uint64
@@ -211,6 +227,10 @@ type System struct {
 	// CostDistribution computation in PathDistribution. Test seam for
 	// the singleflight guarantee; never set it outside tests.
 	computeProbe func()
+	// buildProbe, when non-nil, runs inside PublishEpoch after the
+	// staged batch is drained and may fail the build. Test seam for
+	// the restore-ordering guarantee; never set it outside tests.
+	buildProbe func() error
 }
 
 // newSystem wraps a trained hybrid as epoch 1 of a fresh System.
@@ -650,12 +670,15 @@ var ErrGateRejected = errors.New("pathcost: computation gate rejected the query"
 // nil: a nil acquire disables gating entirely, a nil release just
 // skips the post-computation call.
 //
-// ctx cancels *waiting*, not computing: a caller parked behind a
+// ctx bounds both waiting and computing: a caller parked behind a
 // concurrent leader's computation unblocks when ctx ends and gets
-// ctx's error, while the leader's computation continues and still
-// fills the cache. A caller that is itself the leader runs to
-// completion (bound leader-side work with the acquire hook instead).
-// A nil ctx means context.Background.
+// ctx's error, and a caller that is itself the leader has its
+// evaluation deadline-checked per chain step (see CostDistributionCtx)
+// — an expired budget stops the computation and fills no cache entry.
+// A follower handed the LEADER's context error while its own ctx is
+// still live retries with a new leader, so one short-budget caller
+// never poisons a long-budget one. A nil ctx means
+// context.Background, which disables every deadline check.
 func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float64, m Method,
 	acquire func() bool, release func()) (*QueryResult, error) {
 	if ctx == nil {
@@ -674,7 +697,7 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 	if s.qcache.Load() == nil && acquire == nil {
 		// Uncached, ungated: skip the closure machinery entirely (the
 		// loop below would take this branch anyway).
-		return s.compute(ep, p, depart, m)
+		return s.compute(ctx, ep, p, depart, m)
 	}
 	gated := func() (*QueryResult, error) {
 		if acquire != nil {
@@ -685,7 +708,7 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 				defer release()
 			}
 		}
-		return s.compute(ep, p, depart, m)
+		return s.compute(ctx, ep, p, depart, m)
 	}
 	counted := false
 	for {
@@ -732,6 +755,13 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 			// acquire decides.
 			continue
 		}
+		if shared && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The LEADER's deadline or client died mid-computation; this
+			// caller's budget is still live. Retry: a surviving caller
+			// becomes the new leader and computes under its own ctx.
+			continue
+		}
 		return res, err
 	}
 }
@@ -742,16 +772,23 @@ func (s *System) PathDistributionGated(ctx context.Context, p Path, depart float
 // consulted before its convolution-memo view (runtime, lazy); either
 // resumes evaluation from the deepest known prefix of p, and the
 // answer is byte-identical with both, either or neither enabled.
-func (s *System) compute(ep *ModelEpoch, p Path, depart float64, m Method) (*QueryResult, error) {
+func (s *System) compute(ctx context.Context, ep *ModelEpoch, p Path, depart float64, m Method) (*QueryResult, error) {
 	if s.computeProbe != nil {
 		s.computeProbe()
+	}
+	// ctx bounds the evaluation itself (per-edge and per-factor
+	// deadline checks in core), not just the wait: a query whose
+	// budget expires mid-chain stops burning CPU and returns ctx's
+	// error. Background contexts make every check a no-op.
+	if ctx == context.Background() {
+		ctx = nil
 	}
 	syn := ep.Synopsis()
 	mm := ep.memo.Load()
 	if syn != nil || mm != nil {
-		return ep.Hybrid.CostDistributionWith(syn, mm, p, depart, core.QueryOptions{Method: m})
+		return ep.Hybrid.CostDistributionWithCtx(ctx, syn, mm, p, depart, core.QueryOptions{Method: m})
 	}
-	return ep.Hybrid.CostDistribution(p, depart, core.QueryOptions{Method: m})
+	return ep.Hybrid.CostDistributionCtx(ctx, p, depart, core.QueryOptions{Method: m})
 }
 
 // GroundTruth runs the accuracy-optimal baseline (Section 2.2) on the
@@ -921,6 +958,77 @@ func (s *System) DecayHalflife() time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// AttachWAL attaches an ingest write-ahead log and replays its pending
+// records into the staged delta buffer — the crash-recovery path.
+// Every subsequent StageTrajectories appends to the log before
+// acknowledging, and PublishEpoch truncates it once a model checkpoint
+// (SetWALCheckpoint) has persisted the published state. Replayed
+// trajectories are re-validated against the graph; the next publish
+// folds them in exactly as the pre-crash publish would have — exact
+// mode builds are batching-invariant, so the recovered model is
+// byte-identical to an uninterrupted run's.
+//
+// Attach before serving: the method itself takes the staging lock, but
+// the replayed backlog should be in place before queries or ingest
+// traffic arrive.
+func (s *System) AttachWAL(l *wal.Log) (replayedBatches, replayedTrajs int) {
+	pending := l.Pending()
+	s.stageMu.Lock()
+	s.wlog = l
+	for _, rec := range pending {
+		ok := make([]*Matched, 0, len(rec.Batch))
+		for _, m := range rec.Batch {
+			if m == nil || m.Validate(s.Graph) != nil ||
+				(s.Params.Domain == DomainEmissions && m.Emissions == nil) {
+				continue
+			}
+			ok = append(ok, m)
+		}
+		if len(ok) == 0 {
+			continue
+		}
+		s.staged = append(s.staged, ok...)
+		replayedBatches++
+		replayedTrajs += len(ok)
+		if rec.Seq > s.walHigh {
+			s.walHigh = rec.Seq
+		}
+	}
+	s.stageMu.Unlock()
+	if replayedTrajs > 0 {
+		s.statMu.Lock()
+		s.stagedTotal += uint64(replayedTrajs)
+		s.statMu.Unlock()
+	}
+	return replayedBatches, replayedTrajs
+}
+
+// SetWALCheckpoint installs the model-persistence hook that gates WAL
+// truncation: after a successful publish, fn must durably persist the
+// newly served model (typically SaveModel to a temp file + rename);
+// only when it returns nil does PublishEpoch truncate the log through
+// the published sequence. With no hook (or a failing one) the log
+// retains its records — recovery then replays more than strictly
+// necessary, which is safe, rather than less, which never is.
+func (s *System) SetWALCheckpoint(fn func() error) {
+	s.stageMu.Lock()
+	s.checkpointFn = fn
+	s.stageMu.Unlock()
+}
+
+// WALStats reports the attached write-ahead log's state; ok is false
+// when no WAL is attached. AppendErrors counts batches rejected
+// because the log could not append them.
+func (s *System) WALStats() (st wal.Stats, appendErrors uint64, ok bool) {
+	s.stageMu.Lock()
+	l, errs := s.wlog, s.walErrors
+	s.stageMu.Unlock()
+	if l == nil {
+		return wal.Stats{}, 0, false
+	}
+	return l.Stats(), errs, true
+}
+
 // StageTrajectories validates a batch of map-matched trajectories
 // against the system's graph and appends the valid ones to the staged
 // delta buffer, to be folded into the model by the next PublishEpoch.
@@ -928,6 +1036,12 @@ func (s *System) DecayHalflife() time.Duration {
 // costs when the model's domain is emissions) are counted in rejected
 // and dropped; one bad trajectory never poisons the batch. Staging
 // never touches the served model. Safe for concurrent use.
+//
+// With a WAL attached (AttachWAL) the validated batch is appended to
+// the log before it is counted as accepted — durability before
+// acknowledgement. A WAL write failure rejects the whole batch (and
+// counts in WALStats.AppendErrors): acking data the log cannot hold
+// would turn a later crash into silent loss.
 func (s *System) StageTrajectories(batch []*Matched) (accepted, rejected int) {
 	ok := make([]*Matched, 0, len(batch))
 	for _, m := range batch {
@@ -942,6 +1056,15 @@ func (s *System) StageTrajectories(batch []*Matched) (accepted, rejected int) {
 		return 0, rejected
 	}
 	s.stageMu.Lock()
+	if s.wlog != nil {
+		seq, err := s.wlog.Append(ok)
+		if err != nil {
+			s.walErrors++
+			s.stageMu.Unlock()
+			return 0, rejected + len(ok)
+		}
+		s.walHigh = seq
+	}
 	s.staged = append(s.staged, ok...)
 	s.stageMu.Unlock()
 	s.statMu.Lock()
@@ -988,6 +1111,10 @@ func (s *System) PublishEpoch() (EpochStats, error) {
 	s.stageMu.Lock()
 	staged := s.staged
 	s.staged = nil
+	// The WAL high-water mark is captured under the same lock that
+	// drained the buffer: it covers exactly the drained records (later
+	// stagings append beyond it and stay pending).
+	wlog, walHigh, checkpoint := s.wlog, s.walHigh, s.checkpointFn
 	s.stageMu.Unlock()
 
 	ep := s.epoch.Load()
@@ -1017,13 +1144,21 @@ func (s *System) PublishEpoch() (EpochStats, error) {
 		delta core.EpochDelta
 		err   error
 	)
-	if halflife <= 0 {
-		nh, nd, delta, err = ep.Hybrid.ApplyBatchExact(ep.Data, staged)
-	} else {
-		nh, delta, err = ep.Hybrid.ApplyBatchDecay(staged, factor)
-		nd = ep.Data
+	if s.buildProbe != nil {
+		err = s.buildProbe()
+	}
+	if err == nil {
+		if halflife <= 0 {
+			nh, nd, delta, err = ep.Hybrid.ApplyBatchExact(ep.Data, staged)
+		} else {
+			nh, delta, err = ep.Hybrid.ApplyBatchDecay(staged, factor)
+			nd = ep.Data
+		}
 	}
 	if err != nil {
+		// Restore ahead of anything staged meanwhile: the drained batch
+		// is older, and a later successful publish must fold batches in
+		// their staging order (exact-mode determinism depends on it).
 		s.stageMu.Lock()
 		s.staged = append(staged, s.staged...)
 		s.stageMu.Unlock()
@@ -1070,6 +1205,18 @@ func (s *System) PublishEpoch() (EpochStats, error) {
 	}
 	s.epoch.Store(nep)
 	s.lastPublish = time.Now()
+
+	// WAL truncation is gated on a successful model checkpoint: the
+	// published epoch lives only in memory, so dropping its records
+	// before some file holds their effect would leave a crash with
+	// neither. No checkpointer (or a failed one) keeps the records;
+	// recovery then replays them against the base model, which the
+	// batching-invariant exact build folds to the same bytes.
+	if wlog != nil && walHigh > 0 && checkpoint != nil {
+		if cerr := checkpoint(); cerr == nil {
+			_ = wlog.TruncateThrough(walHigh)
+		}
+	}
 
 	s.statMu.Lock()
 	s.publishes++

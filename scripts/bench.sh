@@ -4,7 +4,7 @@
 # Runs the root benchmarks with -benchmem, parses ns/op, B/op,
 # allocs/op (plus deltas/sec where a benchmark reports it), runs the
 # loadgen selftest against an in-process 3-way sharded fleet, and
-# writes everything as JSON (default: BENCH_9.json) so perf changes
+# writes everything as JSON (default: BENCH_10.json) so perf changes
 # land with recorded numbers instead of anecdotes.
 #
 # After writing the output it diffs against the previous recorded
@@ -16,7 +16,7 @@
 # gate flaky.
 #
 # Usage:
-#   sh scripts/bench.sh              # writes BENCH_9.json
+#   sh scripts/bench.sh              # writes BENCH_10.json
 #   sh scripts/bench.sh out.json     # custom output path
 #   BENCHTIME=5s sh scripts/bench.sh # custom -benchtime
 #   BASELINE=BENCH_7.json sh scripts/bench.sh
@@ -24,11 +24,11 @@
 #   LOADQPS=200 LOADDUR=5s sh scripts/bench.sh
 set -eu
 
-OUT=${1:-BENCH_9.json}
+OUT=${1:-BENCH_10.json}
 BENCHTIME=${BENCHTIME:-2s}
 LOADQPS=${LOADQPS:-80}
 LOADDUR=${LOADDUR:-3s}
-PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$|BenchmarkBatchIndependent$|BenchmarkBatchPlanned$|BenchmarkIngestThroughput$|BenchmarkQueryDuringIngest$'
+PATTERN='BenchmarkPathDistribution$|BenchmarkPathDistributionMemo$|BenchmarkPathDistributionColdMemo$|BenchmarkPathDistributionSynopsis$|BenchmarkCostDistribution$|BenchmarkBatchIndependent$|BenchmarkBatchPlanned$|BenchmarkIngestThroughput$|BenchmarkIngestWithWAL$|BenchmarkQueryDuringIngest$'
 
 TMP=$(mktemp)
 LOADTMP=$(mktemp)
